@@ -1,0 +1,74 @@
+// Ablation (paper SIII-D, Table III): MCLB routing quality and solver
+// effort. Compares the deterministic min-max local search against the exact
+// Table III MILP (on a reduced path set, where the in-tree solver is
+// practical) and against random path selection, and reports the LPBT
+// formulation's model-size blowup for context.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/mclb.hpp"
+#include "routing/ndbt.hpp"
+#include "topologies/lpbt.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace netsmith;
+
+int main() {
+  std::printf(
+      "NetSmith ablation — MCLB routing: local search vs exact MILP vs "
+      "random selection (max flows on any channel; lower is better)\n\n");
+
+  util::TablePrinter table({"topology", "random", "local search", "LS time (s)",
+                            "exact (capped paths)", "exact time (s)",
+                            "proven"});
+
+  const auto cat = topologies::catalog(20);
+  for (const auto* name :
+       {"FoldedTorus", "Kite-large", "NS-LatOp-medium-20", "NS-SCOp-large-20"}) {
+    const auto t = topologies::find(cat, name);
+    const auto paths = routing::enumerate_shortest_paths(t.graph);
+
+    util::Rng rng(5);
+    const auto random_rt = routing::RoutingTable::select_random(paths, rng);
+    const int random_max = static_cast<int>(
+        routing::analyze_uniform(random_rt).max_load * (20 - 1) + 0.5);
+
+    util::WallTimer ls_timer;
+    const auto ls = routing::mclb_local_search(paths);
+    const double ls_time = ls_timer.seconds();
+
+    // Exact MILP on a reduced path set (8 per flow) with a time cap.
+    const auto capped = routing::enumerate_shortest_paths(t.graph, 8);
+    lp::MilpOptions opts;
+    opts.time_limit_s = 20.0;
+    opts.lp.time_limit_s = 20.0;
+    util::WallTimer ex_timer;
+    const auto exact = routing::mclb_exact(capped, opts);
+    const double ex_time = ex_timer.seconds();
+
+    table.add_row({name, std::to_string(random_max),
+                   std::to_string(ls.max_flows_on_link),
+                   util::TablePrinter::fmt(ls_time, 2),
+                   std::to_string(exact.max_flows_on_link),
+                   util::TablePrinter::fmt(ex_time, 2),
+                   exact.proven_optimal ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  const auto stats20 = topologies::lpbt_model_stats(topo::Layout::noi_4x5(),
+                                                    topo::LinkClass::kSmall);
+  std::printf(
+      "\nContext — prior-art LPBT synthesis formulation at 20 routers:\n"
+      "  %d binaries, %d constraints (the paper reports ~20 days to a first\n"
+      "  candidate with Gurobi; NetSmith's distance encoding avoids this).\n",
+      stats20.binaries, stats20.constraints);
+  std::printf(
+      "\nExpected shape: local search lands at (or within 1 of) the exact\n"
+      "optimum in milliseconds; random selection is clearly worse. The\n"
+      "paper's 20-router MCLB solves in under 5 minutes on Gurobi; the\n"
+      "in-tree exact solver handles the capped path set in seconds.\n");
+  return 0;
+}

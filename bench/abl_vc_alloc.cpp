@@ -1,0 +1,46 @@
+// Ablation (paper SIV-A): deadlock-free VC allocation for every catalogued
+// topology. The paper's claims to reproduce: the DFSSSP-style partitioning
+// needs at most 4 VC layers for all 20-router configurations, with Folded
+// Torus the outlier needing 4 escape VCs; random back-edge selection with a
+// few restarts suffices.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "vc/layers.hpp"
+#include "util/table.hpp"
+
+using namespace netsmith;
+
+int main() {
+  std::printf(
+      "NetSmith ablation — VC layers required for deadlock freedom "
+      "(MCLB routing)\n\n");
+
+  util::TablePrinter table(
+      {"class", "topology", "VC layers", "acyclic verified", "balanced VCs"});
+
+  for (const auto& t : topologies::catalog(20)) {
+    const auto plan = core::plan_network(t.graph, t.layout,
+                                         core::RoutingPolicy::kMclb, 6);
+    // Re-derive the layer assignment to verify it independently.
+    util::Rng rng(7);
+    const auto layers = vc::assign_layers(plan.table, t.graph, rng);
+    const bool ok = vc::verify_acyclic(layers, plan.table, t.graph);
+    const auto map = vc::balance_vcs(layers, plan.table, 6);
+    double w_max = 0, w_sum = 0;
+    for (double w : map.weight_of_vc) {
+      w_max = std::max(w_max, w);
+      w_sum += w;
+    }
+    table.add_row({bench::class_name(t.link_class), t.name,
+                   std::to_string(layers.num_layers), ok ? "yes" : "NO",
+                   util::TablePrinter::fmt(w_max / (w_sum / 6.0), 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape (paper SIV-A): <= 4 layers for every 20-router\n"
+      "topology; the balanced-VC skew (max/mean weight) stays near 1.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench harnesses.
+
+#include <string>
+#include <vector>
+
+#include "core/netsmith.hpp"
+#include "sim/sweep.hpp"
+#include "topologies/registry.hpp"
+
+namespace netsmith::bench {
+
+// Standard simulation window for the figure sweeps: long enough for stable
+// latency estimates, short enough that a full figure regenerates in tens of
+// seconds.
+inline sim::SimConfig default_sim() {
+  sim::SimConfig cfg;
+  cfg.warmup = 2000;
+  cfg.measure = 6000;
+  cfg.drain = 24000;
+  return cfg;
+}
+
+// Routing policy the paper pairs with each topology: MCLB for machine
+// topologies (NetSmith always routes with MCLB), NDBT for expert designs.
+inline core::RoutingPolicy paper_policy(const topologies::NamedTopology& t) {
+  return t.is_netsmith ? core::RoutingPolicy::kMclb
+                       : core::RoutingPolicy::kNdbt;
+}
+
+inline std::string class_name(topo::LinkClass c) { return topo::to_string(c); }
+
+}  // namespace netsmith::bench

@@ -1,0 +1,53 @@
+// Regenerates paper Fig. 1: the latency / saturation-throughput scatter for
+// every 20-router topology. Latency is the analytic zero-load estimate
+// (average hops at the class clock); throughput is the tighter of the
+// cut-based and routed channel-load bounds, in packets/node/ns.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "routing/channel_load.hpp"
+#include "topo/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace netsmith;
+
+int main() {
+  std::printf(
+      "NetSmith reproduction — Fig. 1 (analytic latency vs saturation "
+      "throughput, 20 routers)\n"
+      "Lower latency + higher throughput = bottom-right of the paper's "
+      "scatter.\n\n");
+
+  util::TablePrinter table({"class", "topology", "latency (ns)",
+                            "cut bound", "routed bound", "sat est (pkt/node/ns)"});
+
+  // Average packet is 5 flits (50/50 1-flit control / 9-flit data).
+  constexpr double kAvgFlits = 5.0;
+
+  for (const auto& t : topologies::catalog(20)) {
+    const double clock = topo::clock_ghz(t.link_class);
+    const double hop_cycles = 3.0;  // 2-cycle router + 1-cycle link
+    const double latency_ns =
+        (topo::average_hops(t.graph) * hop_cycles + kAvgFlits) / clock;
+
+    const auto plan = core::plan_network(t.graph, t.layout,
+                                         bench::paper_policy(t), 6);
+    const double routed = 1.0 / std::max(1e-9, plan.max_channel_load);
+    const double cut = routing::cut_bound(t.graph);
+    const double sat_pkt_cycle = std::min(routed, cut) / kAvgFlits;
+
+    table.add_row({bench::class_name(t.link_class), t.name,
+                   util::TablePrinter::fmt(latency_ns, 2),
+                   util::TablePrinter::fmt(cut / kAvgFlits * clock, 3),
+                   util::TablePrinter::fmt(routed / kAvgFlits * clock, 3),
+                   util::TablePrinter::fmt(sat_pkt_cycle * clock, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: NS-* rows dominate their class (lower latency and\n"
+      "higher saturation estimate); Kite-small sits near NS-small.\n");
+  return 0;
+}

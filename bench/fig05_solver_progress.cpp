@@ -1,0 +1,71 @@
+// Regenerates paper Fig. 5: solver progress over time. Runs NetSmith's
+// anytime LatOp search live for each link-length class and prints the
+// objective-bounds-gap trace (incumbent avg hops vs analytic lower bound).
+// The paper's observations to reproduce: (a) smaller link classes converge
+// faster; (b) even non-converged searches beat the expert topologies.
+//
+// Args: [seconds_per_class=12] [include_30=1]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "util/table.hpp"
+
+using namespace netsmith;
+
+namespace {
+
+void run(const topo::Layout& lay, topo::LinkClass cls, double budget,
+         const char* label) {
+  core::SynthesisConfig cfg;
+  cfg.layout = lay;
+  cfg.link_class = cls;
+  cfg.objective = core::Objective::kLatOp;
+  cfg.time_limit_s = budget;
+  cfg.restarts = 2;
+  cfg.seed = 0xF16;
+
+  const auto r = core::synthesize(cfg);
+
+  std::printf("-- %s (%s, %.0fs budget): bound=%.3f avg hops\n", label,
+              bench::class_name(cls).c_str(), budget, r.bound);
+  util::TablePrinter table({"t (s)", "incumbent avg hops", "gap %"});
+  for (const auto& pt : r.trace) {
+    table.add_row({util::TablePrinter::fmt(pt.seconds, 2),
+                   util::TablePrinter::fmt(pt.incumbent, 3),
+                   util::TablePrinter::fmt(pt.gap() * 100.0, 1)});
+  }
+  table.print(std::cout);
+  std::printf("final: avg hops %.3f, gap %.1f%%\n\n", r.objective_value,
+              (r.objective_value - r.bound) / r.objective_value * 100.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double budget = argc > 1 ? std::atof(argv[1]) : 12.0;
+  const bool include_30 = argc > 2 ? std::atoi(argv[2]) != 0 : true;
+
+  std::printf(
+      "NetSmith reproduction — Fig. 5 (objective-bounds gap vs solver "
+      "time, LatOp)\n\n");
+
+  std::printf("== Fig. 5(a): 20 routers (4x5) ==\n");
+  for (const auto cls : {topo::LinkClass::kSmall, topo::LinkClass::kMedium,
+                         topo::LinkClass::kLarge})
+    run(topo::Layout::noi_4x5(), cls, budget, "20-router");
+
+  if (include_30) {
+    std::printf("== Fig. 5(b): 30 routers (6x5) — longer to converge ==\n");
+    run(topo::Layout::noi_6x5(), topo::LinkClass::kMedium, budget * 2,
+        "30-router");
+  }
+
+  std::printf(
+      "Expected shape: the small class closes its gap fastest; larger\n"
+      "classes plateau at a nonzero gap yet still beat expert designs\n"
+      "(compare final avg hops against Table II).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks for the hot kernels: APSP, sparsest-cut
+// enumeration, simplex pivoting, MCLB local search, annealer move
+// evaluation, and simulator cycle throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/netsmith.hpp"
+#include "lp/simplex.hpp"
+#include "routing/mclb.hpp"
+#include "sim/network.hpp"
+#include "topo/builders.hpp"
+#include "topo/cuts.hpp"
+#include "topo/metrics.hpp"
+
+using namespace netsmith;
+
+namespace {
+
+void BM_ApspBfs(benchmark::State& state) {
+  const auto lay = topo::Layout{static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)), 2.0};
+  util::Rng rng(1);
+  const auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::apsp_bfs(g));
+  }
+  state.SetItemsProcessed(state.iterations() * lay.n());
+}
+BENCHMARK(BM_ApspBfs)->Args({4, 5})->Args({6, 5})->Args({8, 6});
+
+void BM_SparsestCutExact(benchmark::State& state) {
+  const auto lay = topo::Layout{4, static_cast<int>(state.range(0)), 2.0};
+  util::Rng rng(2);
+  const auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::sparsest_cut_exact(g));
+  }
+}
+BENCHMARK(BM_SparsestCutExact)->Arg(4)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_BisectionExact20(benchmark::State& state) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::bisection_bandwidth(g));
+  }
+}
+BENCHMARK(BM_BisectionExact20)->Unit(benchmark::kMillisecond);
+
+void BM_SimplexTransport(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lp::Model model;
+    util::Rng rng(3);
+    std::vector<std::vector<int>> v(m, std::vector<int>(m));
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < m; ++j)
+        v[i][j] = model.add_continuous(0, lp::kInf, 1.0 + rng.uniform() * 9);
+    for (int i = 0; i < m; ++i) {
+      std::vector<lp::Term> row;
+      for (int j = 0; j < m; ++j) row.push_back({v[i][j], 1.0});
+      model.add_constraint(std::move(row), lp::Rel::kLe, 10.0);
+    }
+    for (int j = 0; j < m; ++j) {
+      std::vector<lp::Term> col;
+      for (int i = 0; i < m; ++i) col.push_back({v[i][j], 1.0});
+      model.add_constraint(std::move(col), lp::Rel::kGe, 5.0);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lp::solve_lp(model));
+  }
+}
+BENCHMARK(BM_SimplexTransport)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_MclbLocalSearch20(benchmark::State& state) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto paths = routing::enumerate_shortest_paths(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::mclb_local_search(paths));
+  }
+}
+BENCHMARK(BM_MclbLocalSearch20)->Unit(benchmark::kMillisecond);
+
+void BM_PathEnumeration(benchmark::State& state) {
+  const auto lay = topo::Layout{static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)), 2.0};
+  util::Rng rng(4);
+  const auto g = topo::build_random(lay, topo::LinkClass::kLarge, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::enumerate_shortest_paths(g, 32));
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Args({4, 5})->Args({8, 6})->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = core::plan_network(topo::build_folded_torus(lay), lay,
+                                       core::RoutingPolicy::kMclb, 6);
+  sim::TrafficConfig t;
+  t.kind = sim::TrafficKind::kCoherence;
+  t.injection_rate = 0.05;
+  sim::SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 2000;
+  cfg.drain = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(plan, t, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 4500);  // cycles per run
+}
+BENCHMARK(BM_SimulatorCycles)->Unit(benchmark::kMillisecond);
+
+void BM_AnnealMoves(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SynthesisConfig cfg;
+    cfg.layout = topo::Layout::noi_4x5();
+    cfg.link_class = topo::LinkClass::kMedium;
+    cfg.objective = core::Objective::kLatOp;
+    cfg.time_limit_s = 0.1;
+    cfg.restarts = 1;
+    cfg.seed = 6;
+    const auto r = core::synthesize(cfg);
+    state.counters["moves_per_s"] = static_cast<double>(r.moves) / 0.1;
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AnnealMoves)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

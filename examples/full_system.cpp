@@ -1,0 +1,58 @@
+// Full-system example: a 64-core, 4-chiplet system over a 4x5 NoI (the
+// paper's Table IV configuration). Runs a memory-bound PARSEC-like workload
+// over two interposer topologies and reports the modeled speedup.
+//
+// Build & run:  ./build/examples/full_system
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/netsmith.hpp"
+#include "system/workload.hpp"
+#include "topo/builders.hpp"
+#include "topologies/registry.hpp"
+#include "util/table.hpp"
+
+using namespace netsmith;
+
+int main() {
+  const auto lay = topo::Layout::noi_4x5();
+
+  const auto mesh_sys = system::build_chiplet_system(topo::build_mesh(lay), lay);
+  const auto ns_graph =
+      topologies::find(topologies::catalog(20), "NS-LatOp-medium-20").graph;
+  const auto ns_sys = system::build_chiplet_system(ns_graph, lay);
+
+  std::printf("Full-system: %d routers (%d NoI + %d cores), %zu MCs\n\n",
+              mesh_sys.graph.num_nodes(), mesh_sys.noi_n, mesh_sys.num_cores,
+              mesh_sys.mc_routers.size());
+
+  const auto mesh_plan = core::plan_network(
+      mesh_sys.graph, lay, core::RoutingPolicy::kMclb, 8, 7, /*paths=*/12);
+  const auto ns_plan = core::plan_network(
+      ns_sys.graph, lay, core::RoutingPolicy::kMclb, 8, 7, /*paths=*/12);
+
+  sim::SimConfig sc;
+  sc.num_vcs = 8;
+  sc.warmup = 1500;
+  sc.measure = 5000;
+  sc.drain = 20000;
+
+  const system::PerfModel model;
+  util::TablePrinter table(
+      {"benchmark", "MPKI", "lat mesh (cyc)", "lat NS (cyc)", "speedup"});
+
+  for (const auto& bench : system::parsec_benchmarks()) {
+    const auto mesh_r = system::run_workload(mesh_sys, mesh_plan, bench, model, sc);
+    const auto ns_r = system::run_workload(ns_sys, ns_plan, bench, model, sc);
+    table.add_row({bench.name, util::TablePrinter::fmt(bench.mpki, 2),
+                   util::TablePrinter::fmt(mesh_r.avg_packet_latency_cycles, 1),
+                   util::TablePrinter::fmt(ns_r.avg_packet_latency_cycles, 1),
+                   util::TablePrinter::fmt(mesh_r.cpi / ns_r.cpi, 4)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nSpeedups track L2 MPKI: network-insensitive benchmarks barely move,\n"
+      "memory-bound ones inherit the packet-latency reduction (paper Fig. 8).\n");
+  return 0;
+}

@@ -1,0 +1,490 @@
+#include "core/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "topo/builders.hpp"
+#include "topo/cuts.hpp"
+#include "topo/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace netsmith::core {
+
+namespace {
+
+constexpr double kDisconnected = 1e9;
+
+// Scratch-buffer BFS evaluation: total hops, or kDisconnected-scaled penalty
+// counting unreachable pairs so the search gradient points toward
+// connectivity.
+class HopEvaluator {
+ public:
+  explicit HopEvaluator(int n) : n_(n), dist_(n), queue_(n) {}
+
+  // Returns {total_hops (or penalty), ok}.
+  double total_hops(const topo::DiGraph& g) {
+    double total = 0.0;
+    long unreachable = 0;
+    for (int s = 0; s < n_; ++s) {
+      bfs(g, s);
+      for (int j = 0; j < n_; ++j) {
+        if (j == s) continue;
+        if (dist_[j] < 0)
+          ++unreachable;
+        else
+          total += dist_[j];
+      }
+    }
+    if (unreachable > 0) return kDisconnected * unreachable;
+    return total;
+  }
+
+  double weighted_hops(const topo::DiGraph& g, const util::Matrix<double>& w) {
+    double total = 0.0, wsum = 0.0;
+    long unreachable = 0;
+    for (int s = 0; s < n_; ++s) {
+      bfs(g, s);
+      for (int j = 0; j < n_; ++j) {
+        if (j == s || w(s, j) <= 0.0) continue;
+        if (dist_[j] < 0) {
+          ++unreachable;
+        } else {
+          total += w(s, j) * dist_[j];
+          wsum += w(s, j);
+        }
+      }
+    }
+    if (unreachable > 0) return kDisconnected * unreachable;
+    return wsum > 0.0 ? total / wsum : 0.0;
+  }
+
+ private:
+  void bfs(const topo::DiGraph& g, int s) {
+    std::fill(dist_.begin(), dist_.end(), -1);
+    int head = 0, tail = 0;
+    dist_[s] = 0;
+    queue_[tail++] = s;
+    while (head < tail) {
+      const int u = queue_[head++];
+      for (int v : g.out_neighbors(u)) {
+        if (dist_[v] < 0) {
+          dist_[v] = dist_[u] + 1;
+          queue_[tail++] = v;
+        }
+      }
+    }
+  }
+
+  int n_;
+  std::vector<int> dist_;
+  std::vector<int> queue_;
+};
+
+// Lazily grown cache of the most binding cuts for the SCOp surrogate.
+class CutCache {
+ public:
+  CutCache(int n, int cap) : n_(n), cap_(cap) {}
+
+  double cached_bandwidth(const topo::DiGraph& g) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto mask : masks_) best = std::min(best, bw(g, mask));
+    return best;
+  }
+
+  // Soft objective: weighted sum of the k sparsest cached cuts. Improving
+  // near-minimal cuts is rewarded before the minimum itself moves, which
+  // gives the annealer a gradient across the plateau.
+  double soft_bandwidth(const topo::DiGraph& g) const {
+    constexpr int kTop = 4;
+    double smallest[kTop];
+    int cnt = 0;
+    for (const auto mask : masks_) {
+      double v = bw(g, mask);
+      for (int i = 0; i < cnt; ++i)
+        if (v < smallest[i]) std::swap(v, smallest[i]);
+      if (cnt < kTop) smallest[cnt++] = v;
+    }
+    static constexpr double kW[kTop] = {1.0, 0.2, 0.08, 0.04};
+    double s = 0.0;
+    for (int i = 0; i < cnt; ++i) s += kW[i] * smallest[i];
+    return s;
+  }
+
+  // Refresh against the exact sparsest cut; returns the exact bandwidth.
+  double refresh(const topo::DiGraph& g) {
+    const auto cut = n_ <= 26 ? topo::sparsest_cut_exact(g)
+                              : heuristic_cut(g);
+    insert(cut.u_mask);
+    return cut.bandwidth;
+  }
+
+  bool empty() const { return masks_.empty(); }
+
+ private:
+  topo::Cut heuristic_cut(const topo::DiGraph& g) const {
+    util::Rng rng(0x5EED + masks_.size());
+    return topo::sparsest_cut_heuristic(g, rng, 48);
+  }
+
+  double bw(const topo::DiGraph& g, std::uint64_t mask) const {
+    int uv = 0, vu = 0, usz = 0;
+    for (int i = 0; i < n_; ++i) usz += static_cast<int>(mask >> i & 1);
+    if (usz == 0 || usz == n_) return std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n_; ++i) {
+      const bool ui = mask >> i & 1;
+      for (int j : g.out_neighbors(i)) {
+        const bool uj = mask >> j & 1;
+        if (ui && !uj) ++uv;
+        else if (!ui && uj) ++vu;
+      }
+    }
+    return static_cast<double>(std::min(uv, vu)) /
+           (static_cast<double>(usz) * (n_ - usz));
+  }
+
+  void insert(std::uint64_t mask) {
+    if (std::find(masks_.begin(), masks_.end(), mask) != masks_.end()) return;
+    // FIFO eviction: a still-binding cut will be re-inserted by the next
+    // exact refresh.
+    if (static_cast<int>(masks_.size()) >= cap_) masks_.erase(masks_.begin());
+    masks_.push_back(mask);
+  }
+
+  int n_;
+  int cap_;
+  std::vector<std::uint64_t> masks_;
+};
+
+// Mutable edge list paired with the graph for O(1) random edge selection.
+struct EdgePool {
+  std::vector<std::pair<int, int>> edges;  // duplex pairs (i<j) in symmetric mode
+
+  void rebuild(const topo::DiGraph& g, bool symmetric) {
+    edges.clear();
+    for (const auto& [i, j] : g.edges()) {
+      if (symmetric) {
+        if (i < j) edges.emplace_back(i, j);
+      } else {
+        edges.emplace_back(i, j);
+      }
+    }
+  }
+};
+
+class Annealer {
+ public:
+  Annealer(const SynthesisConfig& cfg, const AnnealOptions& opts)
+      : cfg_(cfg),
+        opts_(opts),
+        n_(cfg.layout.n()),
+        rng_(cfg.seed),
+        hop_eval_(n_),
+        cuts_(n_, opts.cut_cache_size) {
+    // Candidate link set L (C3), organized per node for move proposals.
+    out_cand_.resize(n_);
+    for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class)) {
+      if (cfg.symmetric_links && i > j) continue;
+      out_cand_[i].push_back(j);
+    }
+    if (cfg.objective == Objective::kLatOp) {
+      bound_ = average_hops_lower_bound(cfg.layout, cfg.link_class, cfg.radix);
+    } else if (cfg.objective == Objective::kSCOp) {
+      bound_ = sparsest_cut_upper_bound(cfg.layout, cfg.link_class, cfg.radix);
+    } else {
+      // Weighted-hops bound: distances in the all-valid-links graph.
+      topo::DiGraph pot(n_);
+      for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class))
+        pot.add_edge(i, j);
+      bound_ = hop_eval_.weighted_hops(pot, cfg_.pattern);
+    }
+  }
+
+  SynthesisResult run() {
+    SynthesisResult result;
+    result.bound = bound_;
+    const double per_restart =
+        cfg_.time_limit_s / std::max(1, cfg_.restarts);
+
+    bool have_best = false;
+    double best_primary = 0.0, best_secondary = 0.0;
+    topo::DiGraph best_graph;
+
+    for (int restart = 0; restart < std::max(1, cfg_.restarts); ++restart) {
+      run_one(per_restart, restart, result, have_best, best_primary,
+              best_secondary, best_graph);
+    }
+
+    if (!have_best)
+      throw std::runtime_error(
+          "anneal_synthesize: no topology satisfying the constraints "
+          "(diameter / min-bandwidth) was found within the time budget");
+
+    result.graph = best_graph;
+    result.objective_value = best_primary;
+    if (cfg_.objective == Objective::kLatOp ||
+        cfg_.objective == Objective::kPattern)
+      result.objective_value = best_primary;  // average / weighted hops
+    return result;
+  }
+
+ private:
+  // Primary objective in *reporting* units: avg hops (min) or exact cut
+  // bandwidth (max). Secondary: avg hops for SCOp tie-breaks.
+  bool better(double p, double s, double bp, double bs) const {
+    if (cfg_.objective == Objective::kSCOp) {
+      if (p != bp) return p > bp;
+      return s < bs;
+    }
+    return p < bp;
+  }
+
+  // C7 penalty: shortfall against the minimum sparsest-cut bandwidth,
+  // evaluated exactly for tiny n and through the cut cache otherwise.
+  double bandwidth_penalty(const topo::DiGraph& g) {
+    if (cfg_.min_cut_bandwidth <= 0.0) return 0.0;
+    const double bw = n_ <= 12 ? topo::sparsest_cut_exact(g).bandwidth
+                               : (cuts_.empty() ? cuts_.refresh(g)
+                                                : cuts_.cached_bandwidth(g));
+    return std::max(0.0, cfg_.min_cut_bandwidth - bw) * 50000.0;
+  }
+
+  double search_score(const topo::DiGraph& g) {
+    switch (cfg_.objective) {
+      case Objective::kLatOp:
+        return hop_eval_.total_hops(g) + bandwidth_penalty(g);
+      case Objective::kPattern: {
+        // Primary: pattern-weighted hops. Secondary (small weight): uniform
+        // total hops, which keeps the spare port budget working for the
+        // traffic the pattern doesn't exercise instead of leaving links
+        // unplaced.
+        const double uniform = hop_eval_.total_hops(g);
+        if (uniform >= kDisconnected) return uniform;
+        return hop_eval_.weighted_hops(g, cfg_.pattern) *
+                   static_cast<double>(n_) * (n_ - 1) +
+               0.05 * uniform + bandwidth_penalty(g);
+      }
+      case Objective::kSCOp: {
+        const double hops = hop_eval_.total_hops(g);
+        if (hops >= kDisconnected) return hops;
+        const double avg = hops / (static_cast<double>(n_) * (n_ - 1));
+        // Tiny instances: the exact sparsest cut is cheap enough to evaluate
+        // on every move; the cut-cache surrogate is for paper-scale n.
+        if (n_ <= 12)
+          return -topo::sparsest_cut_exact(g).bandwidth * 2000.0 + avg;
+        if (cuts_.empty()) cuts_.refresh(g);
+        const double soft = cuts_.soft_bandwidth(g);
+        return -soft * 2000.0 + avg;
+      }
+    }
+    return 0.0;
+  }
+
+  void run_one(double budget_s, int restart, SynthesisResult& result,
+               bool& have_best, double& best_primary, double& best_secondary,
+               topo::DiGraph& best_graph) {
+    util::WallTimer timer;
+    rng_.reseed(cfg_.seed * 0x9E3779B9 + restart * 1234567 + 1);
+
+    topo::DiGraph g =
+        cfg_.symmetric_links
+            ? topo::build_random_symmetric(cfg_.layout, cfg_.link_class,
+                                           cfg_.radix, rng_)
+            : topo::build_random(cfg_.layout, cfg_.link_class, cfg_.radix, rng_);
+    EdgePool pool;
+    pool.rebuild(g, cfg_.symmetric_links);
+
+    double score = search_score(g);
+    long accepts_since_refresh = 0;
+
+    while (timer.seconds() < budget_s) {
+      const double frac = timer.seconds() / budget_s;
+      const double temp = opts_.t0 * std::pow(opts_.t1 / opts_.t0, frac);
+
+      for (int inner = 0; inner < 200; ++inner) {
+        ++result.moves;
+        if (!propose_and_apply(g, pool)) continue;
+        const double cand = search_score(g);
+        const double delta = cand - score;
+        if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temp)) {
+          score = cand;
+          ++result.accepted;
+          ++accepts_since_refresh;
+        } else {
+          undo(g, pool);
+          continue;
+        }
+
+        // Candidate incumbent: compute the exact objective.
+        maybe_update_incumbent(g, result, have_best, best_primary,
+                               best_secondary, best_graph, restart, timer);
+
+        const bool uses_cut_cache =
+            cfg_.objective == Objective::kSCOp ||
+            (cfg_.min_cut_bandwidth > 0.0 && n_ > 12);
+        if (uses_cut_cache &&
+            accepts_since_refresh >= opts_.cut_refresh_accepts) {
+          accepts_since_refresh = 0;
+          cuts_.refresh(g);
+          score = search_score(g);
+        }
+      }
+    }
+  }
+
+  void maybe_update_incumbent(const topo::DiGraph& g, SynthesisResult& result,
+                              bool& have_best, double& best_primary,
+                              double& best_secondary, topo::DiGraph& best_graph,
+                              int restart, const util::WallTimer& timer) {
+    const double hops = hop_eval_.total_hops(g);
+    if (hops >= kDisconnected) return;
+    if (cfg_.diameter_bound > 0 && topo::diameter(g) > cfg_.diameter_bound)
+      return;
+    if (cfg_.min_cut_bandwidth > 0.0) {
+      // C7 is a hard constraint on incumbents: verify with the exact cut.
+      const double bw = n_ <= 26
+                            ? topo::sparsest_cut_exact(g).bandwidth
+                            : cuts_.refresh(g);
+      if (bw + 1e-12 < cfg_.min_cut_bandwidth) return;
+    }
+    const double avg = hops / (static_cast<double>(n_) * (n_ - 1));
+
+    double primary, secondary;
+    if (cfg_.objective == Objective::kSCOp) {
+      // Only pay for an exact cut when the surrogate looks competitive.
+      const double surrogate = cuts_.cached_bandwidth(g);
+      if (have_best &&
+          (surrogate < best_primary ||
+           (surrogate == best_primary && avg >= best_secondary)))
+        return;
+      primary = cuts_.refresh(g);  // exact value, also tightens the cache
+      secondary = avg;
+    } else if (cfg_.objective == Objective::kPattern) {
+      primary = hop_eval_.weighted_hops(g, cfg_.pattern);
+      secondary = avg;
+    } else {
+      primary = avg;
+      secondary = avg;
+    }
+
+    if (!have_best || better(primary, secondary, best_primary, best_secondary)) {
+      have_best = true;
+      best_primary = primary;
+      best_secondary = secondary;
+      best_graph = g;
+      if (static_cast<int>(result.trace.size()) < opts_.max_trace_points) {
+        ProgressPoint pt;
+        pt.seconds = timer.seconds() +
+                     restart * (cfg_.time_limit_s / std::max(1, cfg_.restarts));
+        pt.incumbent = primary;
+        pt.bound = bound_;
+        result.trace.push_back(pt);
+      }
+    }
+  }
+
+  // --- Move machinery. A move removes up to one edge and adds up to one
+  // edge (duplex pairs in symmetric mode); `undo` restores the previous
+  // state exactly.
+  struct Delta {
+    bool removed = false, added = false;
+    std::pair<int, int> rem, add;
+  };
+
+  bool degree_ok_add(const topo::DiGraph& g, int i, int j) const {
+    if (cfg_.symmetric_links)
+      return g.out_degree(i) < cfg_.radix && g.in_degree(i) < cfg_.radix &&
+             g.out_degree(j) < cfg_.radix && g.in_degree(j) < cfg_.radix;
+    return g.out_degree(i) < cfg_.radix && g.in_degree(j) < cfg_.radix;
+  }
+
+  void do_add(topo::DiGraph& g, EdgePool& pool, int i, int j) {
+    g.add_edge(i, j);
+    if (cfg_.symmetric_links) g.add_edge(j, i);
+    pool.edges.emplace_back(i, j);
+  }
+
+  void do_remove(topo::DiGraph& g, EdgePool& pool, std::size_t idx) {
+    const auto [i, j] = pool.edges[idx];
+    g.remove_edge(i, j);
+    if (cfg_.symmetric_links) g.remove_edge(j, i);
+    pool.edges[idx] = pool.edges.back();
+    pool.edges.pop_back();
+  }
+
+  bool try_random_add(topo::DiGraph& g, EdgePool& pool) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const int i = static_cast<int>(rng_.uniform_int(0, n_ - 1));
+      if (out_cand_[i].empty()) continue;
+      const int j = rng_.pick(out_cand_[i]);
+      if (g.has_edge(i, j) || (cfg_.symmetric_links && g.has_edge(j, i)))
+        continue;
+      if (!degree_ok_add(g, i, j)) continue;
+      do_add(g, pool, i, j);
+      delta_.added = true;
+      delta_.add = {i, j};
+      return true;
+    }
+    return false;
+  }
+
+  bool propose_and_apply(topo::DiGraph& g, EdgePool& pool) {
+    delta_ = Delta{};
+    const double r = rng_.uniform();
+    if (r < 0.15) {
+      // Pure add (fills radix slack).
+      return try_random_add(g, pool);
+    }
+    if (pool.edges.empty()) return false;
+    const std::size_t idx = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(pool.edges.size()) - 1));
+    const auto rem = pool.edges[idx];
+    do_remove(g, pool, idx);
+    delta_.removed = true;
+    delta_.rem = rem;
+    if (r < 0.25) return true;  // pure remove
+    // Rewire: remove + add elsewhere.
+    if (try_random_add(g, pool)) return true;
+    // Could not re-add: keep as a pure remove (still a valid move).
+    return true;
+  }
+
+  void undo(topo::DiGraph& g, EdgePool& pool) {
+    if (delta_.added) {
+      // The added edge is the last pool entry.
+      g.remove_edge(delta_.add.first, delta_.add.second);
+      if (cfg_.symmetric_links)
+        g.remove_edge(delta_.add.second, delta_.add.first);
+      pool.edges.pop_back();
+    }
+    if (delta_.removed) {
+      g.add_edge(delta_.rem.first, delta_.rem.second);
+      if (cfg_.symmetric_links) g.add_edge(delta_.rem.second, delta_.rem.first);
+      pool.edges.push_back(delta_.rem);
+    }
+  }
+
+  SynthesisConfig cfg_;
+  AnnealOptions opts_;
+  int n_;
+  util::Rng rng_;
+  HopEvaluator hop_eval_;
+  CutCache cuts_;
+  std::vector<std::vector<int>> out_cand_;
+  double bound_ = 0.0;
+  Delta delta_;
+};
+
+}  // namespace
+
+SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
+                                  const AnnealOptions& opts) {
+  Annealer a(cfg, opts);
+  return a.run();
+}
+
+}  // namespace netsmith::core

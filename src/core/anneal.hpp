@@ -1,0 +1,30 @@
+#pragma once
+// Anytime topology search: simulated annealing over the space of link sets
+// that satisfy the layout / link-class / radix / (optional) symmetry
+// constraints of Table I.
+//
+// This is the Gurobi-substitute backend at the paper's scales (20/30/48
+// routers). Like a MIP solver it maintains an incumbent and reports a trace
+// of (time, incumbent, analytic bound) pairs whose gap narrows over time
+// (Fig. 5). The SCOp objective is evaluated through a lazily grown cache of
+// worst cuts (cutting-plane style): cheap surrogate evaluations against the
+// cached partitions, with periodic exact sparsest-cut refreshes that insert
+// newly violated partitions.
+
+#include "core/config.hpp"
+
+namespace netsmith::core {
+
+struct AnnealOptions {
+  // Temperature schedule (geometric in elapsed-time fraction).
+  double t0 = 8.0;
+  double t1 = 0.02;
+  int cut_cache_size = 320;
+  int cut_refresh_accepts = 500;  // exact-cut refresh cadence for SCOp
+  int max_trace_points = 512;
+};
+
+SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
+                                  const AnnealOptions& opts = {});
+
+}  // namespace netsmith::core

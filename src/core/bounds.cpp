@@ -1,0 +1,115 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "topo/builders.hpp"
+#include "topo/metrics.hpp"
+
+namespace netsmith::core {
+
+namespace {
+
+// Distance needed for a radix-r out-tree to reach the k-th node (k >= 1).
+int moore_distance(int k, int radix) {
+  int reach = 0;
+  long frontier = 1;
+  int t = 0;
+  while (reach < k) {
+    ++t;
+    frontier *= radix;
+    reach += static_cast<int>(std::min<long>(frontier, 1 << 20));
+  }
+  return t;
+}
+
+// The "potential graph": every class-valid link present.
+topo::DiGraph potential_graph(const topo::Layout& layout, topo::LinkClass cls) {
+  topo::DiGraph g(layout.n());
+  for (const auto& [i, j] : topo::valid_links(layout, cls)) g.add_edge(i, j);
+  return g;
+}
+
+}  // namespace
+
+std::int64_t total_hops_lower_bound(const topo::Layout& layout,
+                                    topo::LinkClass cls, int radix) {
+  const int n = layout.n();
+  const auto pot = potential_graph(layout, cls);
+  std::int64_t total = 0;
+  for (int s = 0; s < n; ++s) {
+    auto d = topo::bfs_distances(pot, s);
+    std::vector<int> others;
+    others.reserve(n - 1);
+    for (int j = 0; j < n; ++j)
+      if (j != s) others.push_back(d[j]);
+    std::sort(others.begin(), others.end());
+    for (int k = 1; k <= n - 1; ++k) {
+      total += std::max(others[k - 1], moore_distance(k, radix));
+    }
+  }
+  return total;
+}
+
+double average_hops_lower_bound(const topo::Layout& layout,
+                                topo::LinkClass cls, int radix) {
+  const int n = layout.n();
+  if (n < 2) return 0.0;
+  return static_cast<double>(total_hops_lower_bound(layout, cls, radix)) /
+         (static_cast<double>(n) * (n - 1));
+}
+
+double sparsest_cut_upper_bound(const topo::Layout& layout,
+                                topo::LinkClass cls, int radix) {
+  const int n = layout.n();
+  const auto pot = potential_graph(layout, cls);
+
+  // Capacity of a fixed partition when every router saturates its radix:
+  // each U-router can contribute at most min(radix, valid neighbours in V)
+  // outgoing crossings, and symmetrically for the V side's inputs.
+  auto partition_capacity = [&](const std::vector<std::uint8_t>& in_u) {
+    int usz = 0;
+    for (int i = 0; i < n; ++i) usz += in_u[i];
+    if (usz == 0 || usz == n) return 1e30;
+    long out_side = 0, in_side = 0;
+    for (int i = 0; i < n; ++i) {
+      if (in_u[i]) {
+        int nbrs = 0;
+        for (int j : pot.out_neighbors(i)) nbrs += !in_u[j];
+        out_side += std::min(radix, nbrs);
+      } else {
+        int nbrs = 0;
+        for (int j : pot.in_neighbors(i)) nbrs += in_u[j];
+        in_side += std::min(radix, nbrs);
+      }
+    }
+    const double cap = static_cast<double>(std::min(out_side, in_side));
+    return cap / (static_cast<double>(usz) * (n - usz));
+  };
+
+  double best = 1e30;
+  // Column sweeps: U = columns [0, c].
+  for (int c = 0; c + 1 < layout.cols; ++c) {
+    std::vector<std::uint8_t> in_u(n, 0);
+    for (int r = 0; r < layout.rows; ++r)
+      for (int cc = 0; cc <= c; ++cc) in_u[layout.id(r, cc)] = 1;
+    best = std::min(best, partition_capacity(in_u));
+  }
+  // Row sweeps.
+  for (int r = 0; r + 1 < layout.rows; ++r) {
+    std::vector<std::uint8_t> in_u(n, 0);
+    for (int rr = 0; rr <= r; ++rr)
+      for (int c = 0; c < layout.cols; ++c) in_u[layout.id(rr, c)] = 1;
+    best = std::min(best, partition_capacity(in_u));
+  }
+  // Single-node cuts (ejection-style bound).
+  {
+    std::vector<std::uint8_t> in_u(n, 0);
+    in_u[0] = 1;
+    best = std::min(best, partition_capacity(in_u));
+  }
+  return best;
+}
+
+}  // namespace netsmith::core

@@ -1,0 +1,34 @@
+#pragma once
+// Analytic bounds on the best achievable objectives under a (layout, link
+// class, radix) budget. These are the "any possible optimal solution" side
+// of the objective-bounds gap the paper's Fig. 5 traces; MIP solvers get
+// them from LP relaxations, we get them from combinatorial arguments:
+//
+//  - Total hops: for each source, the k-th nearest router is at distance at
+//    least max(d_L(s, k-th), moore(k)) where d_L is the BFS distance in the
+//    graph of ALL class-valid links and moore(k) is the radius needed for a
+//    radix-r out-tree to cover k nodes (r + r^2 + ... + r^t >= k).
+//  - Sparsest cut: any fixed partition upper-bounds the achievable minimum;
+//    we evaluate the capacity-saturated value of grid row/column cuts and
+//    of balanced random partitions.
+
+#include <cstdint>
+
+#include "topo/layout.hpp"
+
+namespace netsmith::core {
+
+// Lower bound on sum of all-pairs distances for any topology satisfying the
+// constraints.
+std::int64_t total_hops_lower_bound(const topo::Layout& layout,
+                                    topo::LinkClass cls, int radix);
+
+// Same, expressed as average hops.
+double average_hops_lower_bound(const topo::Layout& layout,
+                                topo::LinkClass cls, int radix);
+
+// Upper bound on the sparsest-cut bandwidth any valid topology can achieve.
+double sparsest_cut_upper_bound(const topo::Layout& layout,
+                                topo::LinkClass cls, int radix);
+
+}  // namespace netsmith::core

@@ -1,0 +1,46 @@
+#pragma once
+// NetSmith public facade: topology synthesis plus the full post-synthesis
+// pipeline (shortest-path enumeration -> MCLB routing -> deadlock-free VC
+// allocation), mirroring how the paper deploys generated topologies.
+
+#include <string>
+
+#include "core/anneal.hpp"
+#include "core/config.hpp"
+#include "core/milp_encoding.hpp"
+#include "routing/mclb.hpp"
+#include "routing/table.hpp"
+#include "vc/balance.hpp"
+#include "vc/layers.hpp"
+
+namespace netsmith::core {
+
+// Anytime synthesis (the default backend at paper scales).
+SynthesisResult synthesize(const SynthesisConfig& cfg);
+
+// Exact synthesis through the MILP encoding; n <= ~10. Throws on larger
+// layouts. Returns the proven-optimal topology (or best within limits).
+SynthesisResult synthesize_exact(const SynthesisConfig& cfg,
+                                 const lp::MilpOptions& opts = {});
+
+// Everything the simulator needs to run a topology deadlock-free.
+struct NetworkPlan {
+  topo::DiGraph graph;
+  routing::RoutingTable table;
+  vc::VcMap vc_map;
+  double max_channel_load = 0.0;  // normalized, from the chosen routing
+  int vc_layers = 0;
+  int ndbt_fallback_flows = 0;  // NDBT only: flows that needed the fallback
+};
+
+enum class RoutingPolicy { kMclb, kNdbt };
+
+// Builds routing tables + VC allocation for an arbitrary topology.
+//  - kMclb: MCLB path selection over all shortest paths (NetSmith's choice).
+//  - kNdbt: no-double-back-turns with random selection among legal paths
+//    (the expert topologies' published scheme).
+NetworkPlan plan_network(const topo::DiGraph& g, const topo::Layout& layout,
+                         RoutingPolicy policy, int num_vcs,
+                         std::uint64_t seed = 7, int max_paths_per_flow = 48);
+
+}  // namespace netsmith::core

@@ -1,0 +1,79 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+
+namespace netsmith::core {
+
+util::Matrix<double> uniform_pattern(int n) {
+  util::Matrix<double> w(n, n, 1.0);
+  for (int i = 0; i < n; ++i) w(i, i) = 0.0;
+  return w;
+}
+
+int shuffle_dest(int src, int n) {
+  if (src < n / 2) return 2 * src;
+  return (2 * src + 1) % n;
+}
+
+util::Matrix<double> shuffle_pattern(int n) {
+  util::Matrix<double> w(n, n, 0.0);
+  for (int s = 0; s < n; ++s) {
+    const int d = shuffle_dest(s, n);
+    if (d != s) w(s, d) = 1.0;
+  }
+  return w;
+}
+
+namespace {
+
+util::Matrix<double> permutation_pattern(int n, int (*dest)(int, int)) {
+  util::Matrix<double> w(n, n, 0.0);
+  for (int s = 0; s < n; ++s) {
+    const int d = dest(s, n);
+    if (d != s && d >= 0 && d < n) w(s, d) = 1.0;
+  }
+  return w;
+}
+
+}  // namespace
+
+util::Matrix<double> bit_complement_pattern(int n) {
+  return permutation_pattern(n, [](int s, int nn) { return nn - 1 - s; });
+}
+
+int bit_reverse_dest(int src, int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  int r = 0;
+  for (int b = 0; b < bits; ++b)
+    if (src >> b & 1) r |= 1 << (bits - 1 - b);
+  return r < n ? r : src;  // out-of-range reversals stay put (no flow)
+}
+
+util::Matrix<double> bit_reverse_pattern(int n) {
+  return permutation_pattern(n, bit_reverse_dest);
+}
+
+util::Matrix<double> tornado_pattern(int n) {
+  return permutation_pattern(
+      n, [](int s, int nn) { return (s + (nn + 1) / 2 - 1) % nn; });
+}
+
+util::Matrix<double> neighbor_pattern(int n) {
+  return permutation_pattern(n, [](int s, int nn) { return (s + 1) % nn; });
+}
+
+util::Matrix<double> transpose_pattern(const topo::Layout& layout) {
+  const int n = layout.n();
+  util::Matrix<double> w(n, n, 0.0);
+  for (int s = 0; s < n; ++s) {
+    const int r = layout.row(s), c = layout.col(s);
+    const int tr = std::min(c, layout.rows - 1);
+    const int tc = std::min(r, layout.cols - 1);
+    const int d = layout.id(tr, tc);
+    if (d != s) w(s, d) = 1.0;
+  }
+  return w;
+}
+
+}  // namespace netsmith::core

@@ -1,0 +1,31 @@
+#pragma once
+// Traffic patterns used as optimization inputs and by the simulator.
+
+#include "topo/layout.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::core {
+
+// Uniform all-to-all: every (s, d), s != d, equally likely (paper SII-B).
+util::Matrix<double> uniform_pattern(int n);
+
+// gem5 "shuffle" (paper SV-E): dest = 2*src for src < n/2,
+// (2*src + 1) mod n otherwise.
+util::Matrix<double> shuffle_pattern(int n);
+int shuffle_dest(int src, int n);
+
+// Further standard gem5/Garnet synthetic permutations, usable both as
+// synthesis objectives (Objective::kPattern) and as simulator traffic
+// (sim::traffic_from_pattern). Destinations mapping to the source itself
+// carry no flow.
+util::Matrix<double> bit_complement_pattern(int n);  // dest = n-1-src
+util::Matrix<double> bit_reverse_pattern(int n);     // reverse ceil(lg n) bits
+util::Matrix<double> tornado_pattern(int n);         // dest = src + ceil(n/2)-1
+util::Matrix<double> neighbor_pattern(int n);        // dest = src + 1 (mod n)
+// Grid transpose: (r, c) -> (c, r) when in range, clamped to the grid
+// otherwise (non-square layouts fold the tail coordinates).
+util::Matrix<double> transpose_pattern(const topo::Layout& layout);
+
+int bit_reverse_dest(int src, int n);
+
+}  // namespace netsmith::core

@@ -1,0 +1,71 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace netsmith::lp {
+
+int Model::add_var(double lb, double ub, double obj, VarType type,
+                   std::string name) {
+  assert(lb <= ub);
+  if (type == VarType::kBinary) {
+    lb = std::max(lb, 0.0);
+    ub = std::min(ub, 1.0);
+  }
+  vars_.push_back(VarDef{lb, ub, obj, type, std::move(name)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+void Model::add_constraint(std::vector<Term> terms, Rel rel, double rhs,
+                           std::string name) {
+  for ([[maybe_unused]] const auto& t : terms)
+    assert(t.var >= 0 && t.var < num_vars());
+  constraints_.push_back(ConstraintDef{std::move(terms), rel, rhs, std::move(name)});
+}
+
+bool Model::has_integers() const {
+  return std::any_of(vars_.begin(), vars_.end(), [](const VarDef& v) {
+    return v.type != VarType::kContinuous;
+  });
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (int j = 0; j < num_vars(); ++j) v += vars_[j].obj * x[j];
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& t : c.terms) lhs += t.coef * x[t.var];
+    double viol = 0.0;
+    switch (c.rel) {
+      case Rel::kLe: viol = lhs - c.rhs; break;
+      case Rel::kGe: viol = c.rhs - lhs; break;
+      case Rel::kEq: viol = std::abs(lhs - c.rhs); break;
+    }
+    worst = std::max(worst, viol);
+  }
+  for (int j = 0; j < num_vars(); ++j) {
+    worst = std::max(worst, vars_[j].lb - x[j]);
+    worst = std::max(worst, x[j] - vars_[j].ub);
+  }
+  return worst;
+}
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterLimit: return "iteration-limit";
+    case SolveStatus::kTimeLimit: return "time-limit";
+    case SolveStatus::kNodeLimit: return "node-limit";
+  }
+  return "?";
+}
+
+}  // namespace netsmith::lp

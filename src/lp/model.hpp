@@ -1,0 +1,104 @@
+#pragma once
+// Linear / mixed-integer model builder. This is the Gurobi-substitute
+// substrate: NetSmith's Table I synthesis encoding, the MCLB routing
+// formulation (Table III), and the LPBT baseline all build lp::Model
+// instances and hand them to SimplexSolver / MilpSolver.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace netsmith::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class Rel { kLe, kGe, kEq };
+enum class VarType { kContinuous, kInteger, kBinary };
+
+struct Term {
+  int var = 0;
+  double coef = 0.0;
+};
+
+struct VarDef {
+  double lb = 0.0;
+  double ub = kInf;
+  double obj = 0.0;
+  VarType type = VarType::kContinuous;
+  std::string name;
+};
+
+struct ConstraintDef {
+  std::vector<Term> terms;
+  Rel rel = Rel::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Model {
+ public:
+  int add_var(double lb, double ub, double obj, VarType type,
+              std::string name = {});
+  int add_binary(double obj = 0.0, std::string name = {}) {
+    return add_var(0.0, 1.0, obj, VarType::kBinary, std::move(name));
+  }
+  int add_continuous(double lb, double ub, double obj = 0.0,
+                     std::string name = {}) {
+    return add_var(lb, ub, obj, VarType::kContinuous, std::move(name));
+  }
+  int add_integer(double lb, double ub, double obj = 0.0,
+                  std::string name = {}) {
+    return add_var(lb, ub, obj, VarType::kInteger, std::move(name));
+  }
+
+  void add_constraint(std::vector<Term> terms, Rel rel, double rhs,
+                      std::string name = {});
+
+  void set_sense(Sense s) { sense_ = s; }
+  Sense sense() const { return sense_; }
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  const VarDef& var(int j) const { return vars_[j]; }
+  VarDef& var(int j) { return vars_[j]; }
+  const ConstraintDef& constraint(int i) const { return constraints_[i]; }
+  const std::vector<VarDef>& vars() const { return vars_; }
+  const std::vector<ConstraintDef>& constraints() const { return constraints_; }
+
+  bool has_integers() const;
+
+  // Evaluates the objective for a full assignment.
+  double objective_value(const std::vector<double>& x) const;
+  // Max constraint violation of an assignment (for verification in tests).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  Sense sense_ = Sense::kMinimize;
+  std::vector<VarDef> vars_;
+  std::vector<ConstraintDef> constraints_;
+};
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  kTimeLimit,
+  kNodeLimit,
+};
+
+std::string to_string(SolveStatus s);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterLimit;
+  std::vector<double> x;
+  double objective = 0.0;
+  // Dual (best possible) bound: for MILP, the proven bound on the optimum;
+  // equals objective when status == kOptimal.
+  double bound = 0.0;
+  long nodes = 0;       // branch-and-bound nodes explored
+  long iterations = 0;  // total simplex iterations
+};
+
+}  // namespace netsmith::lp

@@ -1,0 +1,52 @@
+#include "power/dsent_lite.hpp"
+
+#include <algorithm>
+
+#include "topo/metrics.hpp"
+
+namespace netsmith::power {
+
+PowerArea estimate(const topo::DiGraph& g, const topo::Layout& layout,
+                   double clock_ghz, double flits_per_node_cycle, int num_vcs,
+                   const TechParams& tech) {
+  const int n = g.num_nodes();
+  PowerArea pa;
+
+  double total_wire_mm = 0.0;
+  // Each directed link is half of a full-duplex wire bundle; charge each
+  // direction its own wires (asymmetric links use the same resources as a
+  // symmetric pair, as the paper notes).
+  for (const auto& [i, j] : g.edges())
+    total_wire_mm += topo::link_length_mm(layout, i, j);
+
+  const double avg_hops = topo::average_hops(g);
+  // Flit-hops per second across the whole NoI.
+  const double flit_hops_per_s =
+      flits_per_node_cycle * n * (avg_hops + 1.0) * clock_ghz * 1e9;
+
+  // Energy per flit-hop: one router traversal + buffer write/read + the
+  // average wire length.
+  double max_radix = 0.0;
+  for (int i = 0; i < n; ++i)
+    max_radix = std::max(max_radix,
+                         static_cast<double>(std::max(g.out_degree(i), g.in_degree(i))));
+  const double avg_wire_mm =
+      g.num_directed_edges() > 0 ? total_wire_mm / g.num_directed_edges() : 0.0;
+  const double e_per_hop_pj = tech.router_energy_base_pj +
+                              tech.router_energy_per_port_pj * max_radix +
+                              tech.buffer_energy_pj +
+                              tech.wire_energy_pj_per_mm * avg_wire_mm;
+
+  pa.dynamic_mw = flit_hops_per_s * e_per_hop_pj * 1e-12 * 1e3;  // pJ/s -> mW
+
+  pa.leakage_mw = n * (tech.router_leakage_mw +
+                       tech.buffer_leakage_mw_per_vc * num_vcs) +
+                  total_wire_mm * tech.wire_leakage_mw_per_mm;
+
+  pa.router_area_mm2 =
+      n * (tech.router_area_mm2 + tech.router_area_per_port_mm2 * max_radix);
+  pa.wire_area_mm2 = total_wire_mm * tech.wire_area_mm2_per_mm;
+  return pa;
+}
+
+}  // namespace netsmith::power

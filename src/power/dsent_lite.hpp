@@ -1,0 +1,44 @@
+#pragma once
+// DSENT-lite: analytic power/area model for NoI routers and interposer wires
+// (paper SV-D, Fig. 9; DSENT substitution documented in DESIGN.md).
+//
+// Router energy scales with radix (crossbar ~ radix^2, buffers ~ VCs*depth);
+// wire energy/area scale with length * width * activity. Leakage is charged
+// per router and per mm of repeated wire. All Fig. 9 outputs are normalized
+// to the mesh topology, so only the *relative* calibration matters.
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+
+namespace netsmith::power {
+
+struct TechParams {
+  // 22 nm-ish bulk LVT flavour.
+  double router_energy_base_pj = 0.45;      // per flit through a router
+  double router_energy_per_port_pj = 0.07;  // crossbar term, x radix
+  double buffer_energy_pj = 0.25;           // write+read per flit
+  double wire_energy_pj_per_mm = 0.55;      // 64-bit flit, per mm
+  double router_leakage_mw = 1.6;           // per router
+  double buffer_leakage_mw_per_vc = 0.22;
+  double wire_leakage_mw_per_mm = 0.35;     // repeaters
+  double router_area_mm2 = 0.082;           // radix-6-ish VC router
+  double router_area_per_port_mm2 = 0.011;
+  double wire_area_mm2_per_mm = 0.135;      // 64 wires + spacing/repeaters
+};
+
+struct PowerArea {
+  double dynamic_mw = 0.0;
+  double leakage_mw = 0.0;
+  double router_area_mm2 = 0.0;
+  double wire_area_mm2 = 0.0;
+  double total_power_mw() const { return dynamic_mw + leakage_mw; }
+  double total_area_mm2() const { return router_area_mm2 + wire_area_mm2; }
+};
+
+// `flits_per_node_cycle` is the average injected flit rate per router
+// (activity); hop counts distribute that activity over routers and wires.
+PowerArea estimate(const topo::DiGraph& g, const topo::Layout& layout,
+                   double clock_ghz, double flits_per_node_cycle, int num_vcs,
+                   const TechParams& tech = {});
+
+}  // namespace netsmith::power

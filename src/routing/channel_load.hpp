@@ -1,0 +1,48 @@
+#pragma once
+// Channel-load analysis and analytic saturation-throughput bounds
+// (paper SII-D and Fig. 7).
+//
+// Units: uniform all-to-all traffic where every node injects lambda
+// packets/cycle, each destined uniformly among the n-1 other nodes. The
+// normalized load of a channel is (flows crossing it) / (n-1): the channel's
+// occupancy per unit lambda. Saturation bounds, in packets/node/cycle:
+//   routed bound     = 1 / max normalized channel load
+//   occupancy bound  = E / (n * avg_hops)          (best over ALL routings)
+//   cut bound        = sparsest_cut_bandwidth * (n-1)
+
+#include "routing/paths.hpp"
+#include "routing/table.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::routing {
+
+struct LoadAnalysis {
+  util::Matrix<double> load;  // normalized per directed link (n x n)
+  double max_load = 0.0;
+  int flows = 0;
+
+  // Packets/node/cycle at which the maximally loaded channel saturates.
+  double throughput_bound() const {
+    return max_load > 0.0 ? 1.0 / max_load : 0.0;
+  }
+};
+
+// Load of single-path routing under uniform traffic.
+LoadAnalysis analyze_uniform(const RoutingTable& rt);
+
+// Load when each flow splits uniformly across all its listed paths (models
+// the "random selection among valid choices" policy in expectation).
+LoadAnalysis analyze_uniform_fractional(const PathSet& ps);
+
+// Load for an arbitrary traffic matrix (weight(s,d) = relative packet rate;
+// normalized so the average row sum is 1 packet/cycle per node).
+LoadAnalysis analyze_pattern(const RoutingTable& rt,
+                             const util::Matrix<double>& weight);
+
+// Occupancy-based bound: total channel capacity / total channel demand.
+double occupancy_bound(const topo::DiGraph& g);
+
+// Cut-based bound from the sparsest cut.
+double cut_bound(const topo::DiGraph& g);
+
+}  // namespace netsmith::routing

@@ -1,0 +1,329 @@
+#include "routing/mclb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace netsmith::routing {
+
+namespace {
+
+struct Flow {
+  int s = 0, d = 0;
+  double weight = 1.0;
+  int choice = 0;
+};
+
+// Edge-id mapping over the links that appear in at least one path.
+struct EdgeIndex {
+  std::map<std::pair<int, int>, int> id;
+  int intern(int u, int v) {
+    auto [it, inserted] = id.emplace(std::make_pair(u, v),
+                                     static_cast<int>(id.size()));
+    return it->second;
+  }
+};
+
+// Sorted-load-profile objective: (max, #links at max, sum of squares).
+struct LoadObjective {
+  double max = 0.0;
+  int at_max = 0;
+  double sumsq = 0.0;
+
+  static LoadObjective of(const std::vector<double>& loads) {
+    LoadObjective o;
+    for (double v : loads) {
+      o.sumsq += v * v;
+      if (v > o.max + 1e-12) {
+        o.max = v;
+        o.at_max = 1;
+      } else if (v > o.max - 1e-12) {
+        ++o.at_max;
+      }
+    }
+    return o;
+  }
+
+  bool better_than(const LoadObjective& o) const {
+    if (max < o.max - 1e-12) return true;
+    if (max > o.max + 1e-12) return false;
+    if (at_max != o.at_max) return at_max < o.at_max;
+    return sumsq < o.sumsq - 1e-12;
+  }
+};
+
+void apply_path(std::vector<double>& loads, const EdgeIndex& ei, const Path& p,
+                double w) {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i)
+    loads[ei.id.at({p[i], p[i + 1]})] += w;
+}
+
+}  // namespace
+
+MclbResult mclb_local_search(const PathSet& ps,
+                             const std::vector<double>& flow_weight,
+                             int max_rounds) {
+  const int n = ps.num_nodes();
+  MclbResult result;
+  result.choice.assign(static_cast<std::size_t>(n) * n, 0);
+
+  // Collect flows and intern every edge used by any candidate path.
+  std::vector<Flow> flows;
+  EdgeIndex ei;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d || ps.at(s, d).empty()) continue;
+      Flow f;
+      f.s = s;
+      f.d = d;
+      if (!flow_weight.empty())
+        f.weight = flow_weight[static_cast<std::size_t>(s) * n + d];
+      flows.push_back(f);
+      for (const auto& p : ps.at(s, d))
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) ei.intern(p[i], p[i + 1]);
+    }
+
+  std::vector<double> loads(ei.id.size(), 0.0);
+
+  // Greedy construction: longest flows first (hardest to place).
+  std::vector<int> order(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto la = ps.at(flows[a].s, flows[a].d)[0].size();
+    const auto lb = ps.at(flows[b].s, flows[b].d)[0].size();
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+
+  for (int fi : order) {
+    Flow& f = flows[fi];
+    const auto& alts = ps.at(f.s, f.d);
+    int best_k = 0;
+    LoadObjective best_obj;
+    bool first = true;
+    for (int k = 0; k < static_cast<int>(alts.size()); ++k) {
+      apply_path(loads, ei, alts[k], f.weight);
+      const auto obj = LoadObjective::of(loads);
+      apply_path(loads, ei, alts[k], -f.weight);
+      if (first || obj.better_than(best_obj)) {
+        best_obj = obj;
+        best_k = k;
+        first = false;
+      }
+    }
+    f.choice = best_k;
+    apply_path(loads, ei, alts[best_k], f.weight);
+  }
+
+  // Improvement: reroute flows crossing maximally loaded channels.
+  long iters = 0;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    LoadObjective cur = LoadObjective::of(loads);
+    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+      Flow& f = flows[fi];
+      const auto& alts = ps.at(f.s, f.d);
+      if (alts.size() < 2) continue;
+      // Only consider flows that currently touch a maximal channel.
+      bool on_max = false;
+      const auto& curp = alts[f.choice];
+      for (std::size_t i = 0; i + 1 < curp.size() && !on_max; ++i)
+        if (loads[ei.id.at({curp[i], curp[i + 1]})] > cur.max - 1e-12)
+          on_max = true;
+      if (!on_max) continue;
+
+      apply_path(loads, ei, curp, -f.weight);
+      int best_k = f.choice;
+      LoadObjective best_obj = cur;
+      for (int k = 0; k < static_cast<int>(alts.size()); ++k) {
+        if (k == f.choice) continue;
+        ++iters;
+        apply_path(loads, ei, alts[k], f.weight);
+        const auto obj = LoadObjective::of(loads);
+        apply_path(loads, ei, alts[k], -f.weight);
+        if (obj.better_than(best_obj)) {
+          best_obj = obj;
+          best_k = k;
+        }
+      }
+      apply_path(loads, ei, alts[best_k], f.weight);
+      if (best_k != f.choice) {
+        f.choice = best_k;
+        cur = best_obj;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  for (const Flow& f : flows)
+    result.choice[static_cast<std::size_t>(f.s) * n + f.d] = f.choice;
+  result.max_flows_on_link = static_cast<int>(
+      std::lround(*std::max_element(loads.begin(), loads.end())));
+  result.max_load = *std::max_element(loads.begin(), loads.end()) / (n - 1);
+  result.iterations = iters;
+  return result;
+}
+
+MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts) {
+  const int n = ps.num_nodes();
+
+  lp::Model m;
+  // One binary per candidate path; channel-load rows reference them.
+  struct PathVar {
+    int var;
+    int s, d, k;
+  };
+  std::vector<PathVar> pvars;
+  std::map<std::pair<int, int>, std::vector<int>> link_paths;  // link -> vars
+
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = ps.at(s, d);
+      if (alts.empty()) continue;
+      std::vector<lp::Term> one;
+      for (int k = 0; k < static_cast<int>(alts.size()); ++k) {
+        const int v = m.add_binary(0.0);
+        pvars.push_back({v, s, d, k});
+        one.push_back({v, 1.0});
+        for (std::size_t i = 0; i + 1 < alts[k].size(); ++i)
+          link_paths[{alts[k][i], alts[k][i + 1]}].push_back(v);
+      }
+      // C4: exactly one path per flow.
+      m.add_constraint(std::move(one), lp::Rel::kEq, 1.0);
+    }
+
+  // Uniform demand => integral channel loads; integer t tightens the search.
+  const int t = m.add_integer(0.0, lp::kInf, 1.0);
+  for (const auto& [link, vars] : link_paths) {
+    std::vector<lp::Term> row;
+    row.reserve(vars.size() + 1);
+    for (int v : vars) row.push_back({v, 1.0});
+    row.push_back({t, -1.0});
+    // C1/O1: cload[i][j] <= t.
+    m.add_constraint(std::move(row), lp::Rel::kLe, 0.0);
+  }
+  m.set_sense(lp::Sense::kMinimize);
+
+  // Seed the bound with the local-search incumbent (valid upper bound).
+  const auto ls = mclb_local_search(ps);
+  m.var(t).ub = ls.max_flows_on_link;
+
+  const auto sol = lp::solve_milp(m, opts);
+
+  MclbResult result;
+  result.choice.assign(static_cast<std::size_t>(n) * n, 0);
+  if (sol.status != lp::SolveStatus::kOptimal || sol.x.empty()) {
+    // Fall back to the local-search answer.
+    MclbResult fallback = ls;
+    fallback.proven_optimal = false;
+    return fallback;
+  }
+  for (const auto& pv : pvars)
+    if (sol.x[pv.var] > 0.5)
+      result.choice[static_cast<std::size_t>(pv.s) * n + pv.d] = pv.k;
+  result.max_flows_on_link = static_cast<int>(std::lround(sol.x[t]));
+  result.max_load = sol.x[t] / (n - 1);
+  result.iterations = sol.iterations;
+  result.proven_optimal = true;
+  return result;
+}
+
+FractionalMclbResult mclb_fractional(const PathSet& ps,
+                                     const lp::SimplexOptions& opts) {
+  const int n = ps.num_nodes();
+
+  lp::Model m;
+  struct PathVar {
+    int var;
+    int s, d, k;
+  };
+  std::vector<PathVar> pvars;
+  std::map<std::pair<int, int>, std::vector<int>> link_paths;
+
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = ps.at(s, d);
+      if (alts.empty()) continue;
+      std::vector<lp::Term> one;
+      for (int k = 0; k < static_cast<int>(alts.size()); ++k) {
+        const int v = m.add_continuous(0.0, 1.0);
+        pvars.push_back({v, s, d, k});
+        one.push_back({v, 1.0});
+        for (std::size_t i = 0; i + 1 < alts[k].size(); ++i)
+          link_paths[{alts[k][i], alts[k][i + 1]}].push_back(v);
+      }
+      m.add_constraint(std::move(one), lp::Rel::kEq, 1.0);
+    }
+
+  const int t = m.add_continuous(0.0, lp::kInf, 1.0);
+  for (const auto& [link, vars] : link_paths) {
+    std::vector<lp::Term> row;
+    row.reserve(vars.size() + 1);
+    for (int v : vars) row.push_back({v, 1.0});
+    row.push_back({t, -1.0});
+    m.add_constraint(std::move(row), lp::Rel::kLe, 0.0);
+  }
+  m.set_sense(lp::Sense::kMinimize);
+
+  const auto sol = lp::solve_lp(m, opts);
+
+  FractionalMclbResult r;
+  r.weights.assign(static_cast<std::size_t>(n) * n, {});
+  r.iterations = sol.iterations;
+  if (sol.status != lp::SolveStatus::kOptimal) return r;
+  r.solved = true;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      r.weights[static_cast<std::size_t>(s) * n + d].assign(
+          ps.at(s, d).size(), 0.0);
+    }
+  for (const auto& pv : pvars)
+    r.weights[static_cast<std::size_t>(pv.s) * n + pv.d][pv.k] = sol.x[pv.var];
+  r.max_load = sol.x[t] / (n - 1);
+  return r;
+}
+
+LoadAnalysis analyze_fractional_choice(const PathSet& ps,
+                                       const FractionalMclbResult& frac) {
+  const int n = ps.num_nodes();
+  util::Matrix<double> load(n, n, 0.0);
+  const double unit = 1.0 / (n - 1);
+  int flows = 0;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = ps.at(s, d);
+      const auto& w = frac.weights[static_cast<std::size_t>(s) * n + d];
+      if (alts.empty() || w.empty()) continue;
+      ++flows;
+      for (std::size_t k = 0; k < alts.size(); ++k) {
+        if (w[k] <= 0.0) continue;
+        const auto& p = alts[k];
+        for (std::size_t i = 0; i + 1 < p.size(); ++i)
+          load(p[i], p[i + 1]) += w[k] * unit;
+      }
+    }
+  LoadAnalysis a;
+  a.flows = flows;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) a.max_load = std::max(a.max_load, load(i, j));
+  a.load = std::move(load);
+  return a;
+}
+
+MclbResult mclb_route(const PathSet& ps, int exact_path_limit) {
+  const auto ls = mclb_local_search(ps);
+  if (static_cast<int>(ps.total_paths()) > exact_path_limit) return ls;
+  lp::MilpOptions opts;
+  opts.time_limit_s = 20.0;
+  opts.lp.time_limit_s = 20.0;
+  const auto exact = mclb_exact(ps, opts);
+  return exact.max_flows_on_link <= ls.max_flows_on_link ? exact : ls;
+}
+
+}  // namespace netsmith::routing

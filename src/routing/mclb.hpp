@@ -1,0 +1,69 @@
+#pragma once
+// MCLB: "maximum channel load bottleneck" routing (paper SIII-D, Table III).
+//
+// Given the flat list P of all shortest paths per flow, select exactly one
+// path per flow such that the maximum channel load is minimized. Two
+// backends:
+//   - mclb_exact: the Table III MILP (binary path_used variables, channel
+//     load rows, minmax objective) solved with the in-tree MILP engine.
+//     Because paths are pre-enumerated, the link_used/path_used AND-chains
+//     of Table III collapse into plain column membership, exactly as the
+//     paper notes ("the set of all valid paths is provided as input and the
+//     formulation simply selects").
+//   - mclb_local_search: a deterministic min-max local search that repeatedly
+//     reroutes flows off maximally loaded channels; accepts only
+//     lexicographic improvements of the sorted load profile, so it
+//     terminates. Scales to the 84-router full-system configuration.
+
+#include <vector>
+
+#include "lp/milp.hpp"
+#include "routing/channel_load.hpp"
+#include "routing/paths.hpp"
+#include "routing/table.hpp"
+
+namespace netsmith::routing {
+
+struct MclbResult {
+  std::vector<int> choice;  // per flow f = s*n + d, index into ps.at(s,d)
+  double max_load = 0.0;    // normalized (per unit packets/node/cycle)
+  int max_flows_on_link = 0;
+  long iterations = 0;
+  bool proven_optimal = false;
+  RoutingTable table(const PathSet& ps) const {
+    return RoutingTable::from_choice(ps, choice);
+  }
+};
+
+// Optional per-flow demand weights (uniform all-to-all when empty).
+MclbResult mclb_local_search(const PathSet& ps,
+                             const std::vector<double>& flow_weight = {},
+                             int max_rounds = 64);
+
+MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts = {});
+
+// Convenience: local search, then exact refinement when the instance is
+// small enough (total paths <= exact_path_limit).
+MclbResult mclb_route(const PathSet& ps, int exact_path_limit = 800);
+
+// Fractional (multi-path) MCLB: the Table III formulation with the
+// integrality of path_used relaxed, exactly the generalization the paper
+// names in SIII-D-d. Solved as a pure LP; its optimum lower-bounds every
+// single-path routing's max channel load and is the throughput-optimal
+// traffic split when the network supports per-flow multipath.
+struct FractionalMclbResult {
+  // Per flow f = s*n + d: weight per candidate path (sums to 1).
+  std::vector<std::vector<double>> weights;
+  double max_load = 0.0;  // normalized, same units as MclbResult::max_load
+  bool solved = false;
+  long iterations = 0;
+};
+
+FractionalMclbResult mclb_fractional(const PathSet& ps,
+                                     const lp::SimplexOptions& opts = {});
+
+// Expected channel loads induced by a fractional routing.
+LoadAnalysis analyze_fractional_choice(const PathSet& ps,
+                                       const FractionalMclbResult& frac);
+
+}  // namespace netsmith::routing

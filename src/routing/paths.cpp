@@ -1,0 +1,71 @@
+#include "routing/paths.hpp"
+
+#include <algorithm>
+
+#include "topo/metrics.hpp"
+
+namespace netsmith::routing {
+
+std::size_t PathSet::total_paths() const {
+  std::size_t total = 0;
+  for (const auto& p : paths_) total += p.size();
+  return total;
+}
+
+bool PathSet::all_flows_covered() const {
+  for (int s = 0; s < n_; ++s)
+    for (int d = 0; d < n_; ++d)
+      if (s != d && at(s, d).empty()) return false;
+  return true;
+}
+
+namespace {
+
+// Depth-first enumeration over the shortest-path DAG for flow (s, d).
+void dfs_paths(const topo::DiGraph& g, const util::Matrix<int>& dist, int d,
+               int cap, Path& prefix, std::vector<Path>& out) {
+  const int u = prefix.back();
+  if (u == d) {
+    out.push_back(prefix);
+    return;
+  }
+  if (static_cast<int>(out.size()) >= cap) return;
+  const int s = prefix.front();
+  // Sorted neighbour order keeps enumeration deterministic.
+  std::vector<int> nbrs = g.out_neighbors(u);
+  std::sort(nbrs.begin(), nbrs.end());
+  for (int v : nbrs) {
+    if (dist(s, u) + 1 + dist(v, d) != dist(s, d)) continue;
+    if (dist(s, v) != dist(s, u) + 1) continue;
+    prefix.push_back(v);
+    dfs_paths(g, dist, d, cap, prefix, out);
+    prefix.pop_back();
+    if (static_cast<int>(out.size()) >= cap) return;
+  }
+}
+
+}  // namespace
+
+PathSet enumerate_shortest_paths(const topo::DiGraph& g, int max_paths_per_flow) {
+  const int n = g.num_nodes();
+  const auto dist = topo::apsp_bfs(g);
+  PathSet ps(n);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d || dist(s, d) >= topo::kUnreachable) continue;
+      Path prefix{s};
+      dfs_paths(g, dist, d, max_paths_per_flow, prefix, ps.at(s, d));
+    }
+  }
+  return ps;
+}
+
+bool is_shortest_path(const topo::DiGraph& g, const util::Matrix<int>& dist,
+                      const Path& p) {
+  if (p.size() < 2) return false;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i)
+    if (!g.has_edge(p[i], p[i + 1])) return false;
+  return static_cast<int>(p.size()) - 1 == dist(p.front(), p.back());
+}
+
+}  // namespace netsmith::routing

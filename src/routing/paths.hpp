@@ -1,0 +1,52 @@
+#pragma once
+// Shortest-path enumeration (paper SIII-D): the set P of all minimal paths
+// between every source and destination, computed statically from the
+// topology. This set is the only input the MCLB formulation needs.
+
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::routing {
+
+using Path = std::vector<int>;  // router sequence, path.front()==s, back()==d
+
+class PathSet {
+ public:
+  PathSet() = default;
+  explicit PathSet(int n) : n_(n), paths_(static_cast<std::size_t>(n) * n) {}
+
+  int num_nodes() const { return n_; }
+
+  const std::vector<Path>& at(int s, int d) const {
+    return paths_[static_cast<std::size_t>(s) * n_ + d];
+  }
+  std::vector<Path>& at(int s, int d) {
+    return paths_[static_cast<std::size_t>(s) * n_ + d];
+  }
+
+  // Total enumerated paths across all flows.
+  std::size_t total_paths() const;
+
+  // True iff every s != d flow has at least one path.
+  bool all_flows_covered() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<Path>> paths_;
+};
+
+// Enumerates shortest paths per flow by DFS over the shortest-path DAG
+// (edge (u,v) lies on a shortest s->d path iff
+// dist(s,u) + 1 + dist(v,d) == dist(s,d)). Deterministic neighbour order;
+// at most max_paths_per_flow paths are kept per flow.
+PathSet enumerate_shortest_paths(const topo::DiGraph& g,
+                                 int max_paths_per_flow = 64);
+
+// True iff p is a path in g (consecutive nodes linked) of length
+// dist(s,d) — i.e. a genuine shortest path.
+bool is_shortest_path(const topo::DiGraph& g, const util::Matrix<int>& dist,
+                      const Path& p);
+
+}  // namespace netsmith::routing

@@ -1,0 +1,74 @@
+#include "routing/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "topo/metrics.hpp"
+
+namespace netsmith::routing {
+
+int RoutingTable::next_hop(int cur, int s, int d) const {
+  const Path& p = path(s, d);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i)
+    if (p[i] == cur) return p[i + 1];
+  return -1;
+}
+
+RoutingTable RoutingTable::from_choice(const PathSet& ps,
+                                       const std::vector<int>& choice) {
+  const int n = ps.num_nodes();
+  RoutingTable rt(n);
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = ps.at(s, d);
+      if (alts.empty()) continue;
+      const int c = choice[static_cast<std::size_t>(s) * n + d];
+      assert(c >= 0 && c < static_cast<int>(alts.size()));
+      rt.path(s, d) = alts[c];
+    }
+  return rt;
+}
+
+RoutingTable RoutingTable::select_first(const PathSet& ps) {
+  const int n = ps.num_nodes();
+  std::vector<int> choice(static_cast<std::size_t>(n) * n, 0);
+  return from_choice(ps, choice);
+}
+
+RoutingTable RoutingTable::select_random(const PathSet& ps, util::Rng& rng) {
+  const int n = ps.num_nodes();
+  std::vector<int> choice(static_cast<std::size_t>(n) * n, 0);
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d || ps.at(s, d).empty()) continue;
+      choice[static_cast<std::size_t>(s) * n + d] = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ps.at(s, d).size()) - 1));
+    }
+  return from_choice(ps, choice);
+}
+
+bool RoutingTable::consistent_with(const topo::DiGraph& g) const {
+  for (int s = 0; s < n_; ++s)
+    for (int d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      const Path& p = path(s, d);
+      if (p.size() < 2 || p.front() != s || p.back() != d) return false;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        if (!g.has_edge(p[i], p[i + 1])) return false;
+    }
+  return true;
+}
+
+bool RoutingTable::is_minimal(const topo::DiGraph& g) const {
+  const auto dist = topo::apsp_bfs(g);
+  for (int s = 0; s < n_; ++s)
+    for (int d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      const Path& p = path(s, d);
+      if (static_cast<int>(p.size()) - 1 != dist(s, d)) return false;
+    }
+  return true;
+}
+
+}  // namespace netsmith::routing

@@ -1,0 +1,49 @@
+#pragma once
+// Table-based routing: one chosen shortest path per flow (paper SII-E uses
+// table-based routing for interposer networks; MCLB's output is exactly one
+// path per flow). The table is what the simulator consumes.
+
+#include <vector>
+
+#include "routing/paths.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::routing {
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  explicit RoutingTable(int n) : n_(n), route_(static_cast<std::size_t>(n) * n) {}
+
+  int num_nodes() const { return n_; }
+
+  const Path& path(int s, int d) const {
+    return route_[static_cast<std::size_t>(s) * n_ + d];
+  }
+  Path& path(int s, int d) { return route_[static_cast<std::size_t>(s) * n_ + d]; }
+
+  // Next router after `cur` on the (s, d) route; -1 when cur == d or the
+  // router is not on the route.
+  int next_hop(int cur, int s, int d) const;
+
+  // Builds a table by picking paths[choice[f]] for every flow f = s*n + d.
+  static RoutingTable from_choice(const PathSet& ps, const std::vector<int>& choice);
+
+  // Picks the first (deterministic) path of every flow.
+  static RoutingTable select_first(const PathSet& ps);
+
+  // Random selection among the valid choices (the paper's NDBT policy).
+  static RoutingTable select_random(const PathSet& ps, util::Rng& rng);
+
+  // Every route exists, uses graph edges, starts at s and ends at d.
+  bool consistent_with(const topo::DiGraph& g) const;
+
+  // True iff every route has length dist(s,d) (minimal routing).
+  bool is_minimal(const topo::DiGraph& g) const;
+
+ private:
+  int n_ = 0;
+  std::vector<Path> route_;
+};
+
+}  // namespace netsmith::routing

@@ -1,0 +1,371 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "sim/router.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::sim {
+
+namespace {
+
+class Simulator {
+ public:
+  Simulator(const core::NetworkPlan& plan, const TrafficConfig& traffic,
+            const SimConfig& cfg)
+      : plan_(plan), traffic_(traffic), cfg_(cfg), n_(plan.graph.num_nodes()),
+        rng_(cfg.seed) {
+    build_channels();
+    sources_.resize(n_);
+    eject_rr_.assign(n_, 0);
+    last_input_pop_.assign(channels_.size(), -1);
+    prepare_traffic();
+  }
+
+  SimStats run() {
+    const long horizon = cfg_.warmup + cfg_.measure + cfg_.drain;
+    const long window_end = cfg_.warmup + cfg_.measure;
+
+    for (long cycle = 0; cycle < horizon; ++cycle) {
+      deliver_arrivals(cycle);
+      switch_allocation(cycle);
+      if (cycle < window_end) generate_traffic(cycle);
+      if (cycle == window_end - 1) record_backlog();
+      // Early exit once every tagged packet has drained.
+      if (cycle >= window_end && stats_.tagged_completed == stats_.tagged_injected &&
+          stats_.tagged_injected > 0 && pending_replies_ == 0)
+        break;
+    }
+
+    stats_.offered = traffic_.injection_rate;
+    stats_.accepted = static_cast<double>(ejected_in_window_) /
+                      (static_cast<double>(active_sources_.size()) *
+                       static_cast<double>(cfg_.measure));
+    if (stats_.tagged_completed > 0)
+      stats_.avg_latency_cycles =
+          static_cast<double>(latency_sum_) / stats_.tagged_completed;
+    // Saturation: backlog piled up, or tagged traffic failed to drain.
+    const double drained =
+        stats_.tagged_injected > 0
+            ? static_cast<double>(stats_.tagged_completed) / stats_.tagged_injected
+            : 1.0;
+    stats_.saturated = stats_.mean_source_backlog > 4.0 || drained < 0.95;
+    return stats_;
+  }
+
+ private:
+  // --- Setup -------------------------------------------------------------
+  void build_channels() {
+    edge_id_.assign(static_cast<std::size_t>(n_) * n_, -1);
+    out_edges_.resize(n_);
+    in_edges_.resize(n_);
+    for (const auto& [u, v] : plan_.graph.edges()) {
+      Channel ch;
+      ch.src = u;
+      ch.dst = v;
+      ch.latency = cfg_.router_delay + cfg_.link_delay;
+      if (cfg_.extra_edge_delay.rows() == static_cast<std::size_t>(n_))
+        ch.latency += cfg_.extra_edge_delay(u, v);
+      ch.init(cfg_.num_vcs, cfg_.buf_flits);
+      const int id = static_cast<int>(channels_.size());
+      edge_id_[static_cast<std::size_t>(u) * n_ + v] = id;
+      out_edges_[u].push_back(id);
+      in_edges_[v].push_back(id);
+      channels_.push_back(std::move(ch));
+    }
+    out_rr_.assign(channels_.size(), 0);
+  }
+
+  void prepare_traffic() {
+    if (traffic_.sources.empty()) {
+      for (int i = 0; i < n_; ++i) active_sources_.push_back(i);
+    } else {
+      active_sources_ = traffic_.sources;
+    }
+    if (traffic_.kind == TrafficKind::kMemory && traffic_.mc_nodes.empty())
+      throw std::invalid_argument("memory traffic requires mc_nodes");
+    if (traffic_.kind == TrafficKind::kCustom) {
+      if (traffic_.custom.size() != static_cast<std::size_t>(n_))
+        throw std::invalid_argument("custom traffic needs per-node entries");
+      cum_.resize(n_);
+      for (int s = 0; s < n_; ++s) {
+        double acc = 0.0;
+        for (const auto& [d, w] : traffic_.custom[s]) {
+          acc += w;
+          cum_[s].emplace_back(acc, d);
+        }
+      }
+    }
+  }
+
+  // --- Traffic generation -------------------------------------------------
+  int pick_dest(int src) {
+    switch (traffic_.kind) {
+      case TrafficKind::kCoherence: {
+        int d = static_cast<int>(rng_.uniform_int(0, n_ - 2));
+        if (d >= src) ++d;
+        return d;
+      }
+      case TrafficKind::kShuffle: {
+        const int d = core::shuffle_dest(src, n_);
+        return d == src ? -1 : d;
+      }
+      case TrafficKind::kMemory: {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const int d = traffic_.mc_nodes[static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(traffic_.mc_nodes.size()) - 1))];
+          if (d != src) return d;
+        }
+        return -1;
+      }
+      case TrafficKind::kCustom: {
+        const auto& c = cum_[src];
+        if (c.empty()) return -1;
+        const double r = rng_.uniform() * c.back().first;
+        for (const auto& [acc, d] : c)
+          if (r <= acc) return d == src ? -1 : d;
+        return c.back().second == src ? -1 : c.back().second;
+      }
+    }
+    return -1;
+  }
+
+  int packet_size(bool is_request) {
+    if (traffic_.kind == TrafficKind::kMemory)
+      return is_request ? traffic_.ctrl_flits : traffic_.data_flits;
+    return rng_.uniform() < traffic_.data_fraction ? traffic_.data_flits
+                                                   : traffic_.ctrl_flits;
+  }
+
+  Packet* make_packet(int src, int dst, int flits, long cycle, bool request) {
+    const int vc = plan_.vc_map.vc[static_cast<std::size_t>(src) * n_ + dst];
+    if (vc < 0) return nullptr;  // no route (shouldn't happen when connected)
+    arena_.emplace_back();
+    Packet* p = &arena_.back();
+    p->id = next_id_++;
+    p->src = src;
+    p->dst = dst;
+    p->flits = flits;
+    p->vc = vc;
+    p->inject_cycle = cycle;
+    p->tagged = cycle >= cfg_.warmup && cycle < cfg_.warmup + cfg_.measure;
+    p->is_request = request;
+    return p;
+  }
+
+  void generate_traffic(long cycle) {
+    for (int s : active_sources_) {
+      if (!rng_.bernoulli(traffic_.injection_rate)) continue;
+      const int d = pick_dest(s);
+      if (d < 0) continue;
+      const bool request = traffic_.kind == TrafficKind::kMemory ||
+                           (traffic_.kind == TrafficKind::kCustom &&
+                            traffic_.custom_reply);
+      Packet* p = make_packet(s, d, packet_size(request), cycle, request);
+      if (!p) continue;
+      sources_[s].packets.push_back(p);
+      ++stats_.total_injected;
+      if (p->tagged) ++stats_.tagged_injected;
+      if (p->is_request) ++pending_replies_;
+    }
+  }
+
+  // --- Flit movement -------------------------------------------------------
+  void deliver_arrivals(long cycle) {
+    for (auto& ch : channels_) {
+      while (!ch.flight.empty() && ch.flight.front().arrive <= cycle) {
+        auto& f = ch.flight.front();
+        ch.in_buf[f.vc].push_back(f.flit);
+        ch.flight.pop_front();
+      }
+    }
+  }
+
+  // Input sources of router u are its in-edges plus the injection queue
+  // (index == in_edges_[u].size()).
+  void switch_allocation(long cycle) {
+    current_cycle_ = cycle;
+    for (int u = 0; u < n_; ++u) {
+      ejection(u, cycle);
+      for (int eid : out_edges_[u]) arbitrate_output(u, eid, cycle);
+    }
+  }
+
+  // Head flit of (input source k, vc) at router u, or nullptr.
+  Flit* peek(int u, std::size_t k, int vc) {
+    const auto& ins = in_edges_[u];
+    if (k < ins.size()) {
+      auto& buf = channels_[ins[k]].in_buf[vc];
+      return buf.empty() ? nullptr : &buf.front();
+    }
+    // Injection source: synthesize the next flit view of the head packet.
+    auto& sq = sources_[u];
+    if (sq.packets.empty() || !source_bw_free(sq)) return nullptr;
+    Packet* p = sq.packets.front();
+    if (p->vc != vc) return nullptr;
+    inject_view_.pkt = p;
+    inject_view_.head = p->flits_sent == 0;
+    inject_view_.tail = p->flits_sent == p->flits - 1;
+    return &inject_view_;
+  }
+
+  void pop(int u, std::size_t k, int vc, long cycle) {
+    const auto& ins = in_edges_[u];
+    if (k < ins.size()) {
+      Channel& ch = channels_[ins[k]];
+      ch.in_buf[vc].pop_front();
+      ++ch.credits[vc];  // instantaneous credit return (simplification)
+      last_input_pop_[ins[k]] = cycle;
+    } else {
+      auto& sq = sources_[u];
+      Packet* p = sq.packets.front();
+      ++p->flits_sent;
+      if (sq.bw_cycle != cycle) {
+        sq.bw_cycle = cycle;
+        sq.flits_this_cycle = 0;
+      }
+      ++sq.flits_this_cycle;
+      if (p->flits_sent == p->flits) sq.packets.pop_front();
+    }
+  }
+
+  bool source_bw_free(const SourceQueue& sq) const {
+    return sq.bw_cycle != current_cycle_ ||
+           sq.flits_this_cycle < cfg_.io_flits_per_cycle;
+  }
+
+  bool input_port_free(int u, std::size_t k, long cycle) const {
+    const auto& ins = in_edges_[u];
+    if (k < ins.size()) return last_input_pop_[ins[k]] != cycle;
+    return source_bw_free(sources_[u]);
+  }
+
+  void arbitrate_output(int u, int eid, long cycle) {
+    Channel& out = channels_[eid];
+    const std::size_t num_inputs = in_edges_[u].size() + 1;
+    const std::size_t slots = num_inputs * cfg_.num_vcs;
+    int& rr = out_rr_[eid];
+
+    for (std::size_t step = 0; step < slots; ++step) {
+      const std::size_t slot = (rr + step) % slots;
+      const std::size_t k = slot / cfg_.num_vcs;
+      const int vc = static_cast<int>(slot % cfg_.num_vcs);
+      if (!input_port_free(u, k, cycle)) continue;
+      Flit* f = peek(u, k, vc);
+      if (!f) continue;
+      Packet* p = f->pkt;
+      if (p->dst == u) continue;  // belongs to the ejection port
+      const int next = plan_.table.next_hop(u, p->src, p->dst);
+      if (next != out.dst) continue;
+      // Wormhole VC allocation + credit check.
+      if (out.owner[vc] != nullptr && out.owner[vc] != p) continue;
+      if (out.owner[vc] == nullptr && !f->head) continue;
+      if (out.credits[vc] <= 0) continue;
+
+      // Grant.
+      Flit sent = *f;
+      pop(u, k, vc, cycle);
+      --out.credits[vc];
+      out.owner[vc] = sent.tail ? nullptr : p;
+      out.flight.push_back({cycle + out.latency, sent, vc});
+      rr = static_cast<int>((slot + 1) % slots);
+      return;  // one flit per output per cycle
+    }
+  }
+
+  void ejection(int u, long cycle) {
+    const auto& ins = in_edges_[u];
+    const std::size_t slots = ins.size() * cfg_.num_vcs;
+    if (slots == 0) return;
+    int& rr = eject_rr_[u];
+    for (int granted = 0; granted < cfg_.io_flits_per_cycle; ++granted) {
+      bool any = false;
+      for (std::size_t step = 0; step < slots; ++step) {
+        const std::size_t slot = (rr + step) % slots;
+        const std::size_t k = slot / cfg_.num_vcs;
+        const int vc = static_cast<int>(slot % cfg_.num_vcs);
+        if (!input_port_free(u, k, cycle)) continue;
+        auto& buf = channels_[ins[k]].in_buf[vc];
+        if (buf.empty()) continue;
+        Flit f = buf.front();
+        if (f.pkt->dst != u) continue;
+        pop(u, k, vc, cycle);
+        if (f.tail) complete_packet(f.pkt, cycle);
+        rr = static_cast<int>((slot + 1) % slots);
+        any = true;
+        break;
+      }
+      if (!any) return;
+    }
+  }
+
+  void complete_packet(Packet* p, long cycle) {
+    ++stats_.total_ejected;
+    if (cycle >= cfg_.warmup && cycle < cfg_.warmup + cfg_.measure)
+      ++ejected_in_window_;
+    if (p->tagged) {
+      ++stats_.tagged_completed;
+      latency_sum_ += cycle - p->inject_cycle + 1;
+    }
+    if (p->is_request) {
+      --pending_replies_;  // the request itself
+      // Generate the data reply (memory / custom request-reply traffic).
+      Packet* reply = make_packet(p->dst, p->src, traffic_.data_flits, cycle,
+                                  /*request=*/false);
+      if (reply) {
+        reply->tagged = p->tagged;
+        if (reply->tagged) ++stats_.tagged_injected;
+        ++stats_.total_injected;
+        sources_[p->dst].packets.push_back(reply);
+      }
+    }
+  }
+
+  void record_backlog() {
+    long total = 0;
+    for (const auto& sq : sources_)
+      total += static_cast<long>(sq.packets.size());
+    stats_.mean_source_backlog =
+        static_cast<double>(total) / std::max<std::size_t>(1, active_sources_.size());
+  }
+
+  const core::NetworkPlan& plan_;
+  TrafficConfig traffic_;
+  SimConfig cfg_;
+  int n_;
+  util::Rng rng_;
+
+  std::vector<Channel> channels_;
+  std::vector<int> edge_id_;
+  std::vector<std::vector<int>> out_edges_, in_edges_;
+  std::vector<int> out_rr_, eject_rr_;
+  std::vector<long> last_input_pop_;
+  std::vector<SourceQueue> sources_;
+  std::vector<int> active_sources_;
+  std::vector<std::vector<std::pair<double, int>>> cum_;
+
+  std::deque<Packet> arena_;
+  Flit inject_view_;
+  long next_id_ = 0;
+  long current_cycle_ = -1;
+  long latency_sum_ = 0;
+  long ejected_in_window_ = 0;
+  long pending_replies_ = 0;
+
+  SimStats stats_;
+};
+
+}  // namespace
+
+SimStats simulate(const core::NetworkPlan& plan, const TrafficConfig& traffic,
+                  const SimConfig& cfg) {
+  Simulator s(plan, traffic, cfg);
+  return s.run();
+}
+
+}  // namespace netsmith::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Flit-level NoI simulator (HeteroGarnet substitute, see DESIGN.md).
+//
+// Cycle-driven, input-queued virtual-channel wormhole network with
+// credit-based flow control, table-based routing (one path per flow) and
+// layered VC assignment (a packet keeps its VC end-to-end; deadlock freedom
+// follows from each VC layer's acyclic CDG, which callers verify via
+// vc::verify_acyclic before simulating). Per-hop latency = router pipeline +
+// wire (+ CDC) cycles. Injection/ejection are 1 flit/cycle per node.
+
+#include <cstdint>
+
+#include "core/netsmith.hpp"
+#include "sim/traffic.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::sim {
+
+struct SimConfig {
+  int num_vcs = 6;
+  int buf_flits = 8;     // per-VC input buffer depth in flits
+  int router_delay = 2;  // cycles (paper Table IV: 2-cycle routers)
+  int link_delay = 1;
+  // Injection/ejection bandwidth in flits/cycle/node. The paper (SII-D)
+  // notes local port bottlenecks are "straightforward to provision" away;
+  // 2 keeps the topology, not the NI, as the binding constraint.
+  int io_flits_per_cycle = 2;
+  long warmup = 5000;
+  long measure = 20000;
+  long drain = 40000;
+  std::uint64_t seed = 1;
+  // Optional per-edge extra delay (e.g. 2-cycle CDC crossings); empty = 0.
+  util::Matrix<int> extra_edge_delay;
+};
+
+struct SimStats {
+  double offered = 0.0;   // packets/node/cycle requested
+  double accepted = 0.0;  // packets/node/cycle ejected during the window
+  double avg_latency_cycles = 0.0;  // tagged packets, source-queue inclusive
+  long tagged_injected = 0;
+  long tagged_completed = 0;
+  long total_injected = 0;
+  long total_ejected = 0;
+  bool saturated = false;
+  double mean_source_backlog = 0.0;  // packets per node at window end
+};
+
+// Runs one simulation at a fixed injection rate. The plan's VC map must use
+// <= cfg.num_vcs channels.
+SimStats simulate(const core::NetworkPlan& plan, const TrafficConfig& traffic,
+                  const SimConfig& cfg);
+
+}  // namespace netsmith::sim

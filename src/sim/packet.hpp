@@ -1,0 +1,26 @@
+#pragma once
+// Packet/flit types for the flit-level NoI simulator.
+
+#include <cstdint>
+
+namespace netsmith::sim {
+
+struct Packet {
+  long id = 0;
+  int src = 0;
+  int dst = 0;
+  int flits = 1;          // 1-flit control or 9-flit data (8B links, 72B data)
+  int vc = 0;             // layered routing: constant along the route
+  long inject_cycle = 0;  // when the packet entered the source queue
+  bool tagged = false;    // injected inside the measurement window
+  bool is_request = false;  // memory traffic: triggers a reply at ejection
+  int flits_sent = 0;       // progress at the current router
+};
+
+struct Flit {
+  Packet* pkt = nullptr;
+  bool head = false;
+  bool tail = false;
+};
+
+}  // namespace netsmith::sim

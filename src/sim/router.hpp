@@ -1,0 +1,49 @@
+#pragma once
+// Per-channel simulator state: input-queued virtual-channel wormhole
+// switching with credit-based flow control.
+//
+// Each directed link owns (a) a per-VC input FIFO at its head router,
+// (b) a per-VC credit counter at its tail router mirroring free downstream
+// buffer slots, (c) a fixed-latency in-flight pipeline, and (d) a per-VC
+// wormhole owner: once a head flit is switched onto (link, vc), that packet
+// holds the VC until its tail passes (no flit interleaving within a VC).
+
+#include <deque>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace netsmith::sim {
+
+struct InFlight {
+  long arrive = 0;
+  Flit flit;
+  int vc = 0;
+};
+
+// State of one directed link.
+struct Channel {
+  int src = 0, dst = 0;
+  int latency = 3;  // router pipeline + wire (+ CDC) cycles
+  std::vector<std::deque<Flit>> in_buf;  // per VC, at the downstream router
+  std::vector<int> credits;              // per VC, at the upstream router
+  std::vector<Packet*> owner;            // per VC wormhole allocation
+  std::deque<InFlight> flight;           // flits on the wire (FIFO: fixed lat)
+  std::vector<int> rr;                   // round-robin pointers (per VC group)
+
+  void init(int vcs, int buf_flits) {
+    in_buf.assign(vcs, {});
+    credits.assign(vcs, buf_flits);
+    owner.assign(vcs, nullptr);
+  }
+};
+
+// Per-node injection state: an unbounded source queue (NI) feeding the
+// router at a configurable flits/cycle bandwidth.
+struct SourceQueue {
+  std::deque<Packet*> packets;
+  long bw_cycle = -1;       // cycle the counter refers to
+  int flits_this_cycle = 0; // flits injected in bw_cycle
+};
+
+}  // namespace netsmith::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Injection-rate sweeps and saturation-throughput extraction (paper Figs. 6,
+// 10, 11). Sweep points are independent simulations and run in parallel
+// with OpenMP. Cross-class comparisons use absolute units: latency in ns and
+// throughput in packets/node/ns at the class clock (paper SIV: small/medium/
+// large NoIs run at 3.6/3.0/2.7 GHz).
+
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace netsmith::sim {
+
+struct SweepPoint {
+  double offered_pkt_node_cycle = 0.0;
+  SimStats stats;
+  double latency_ns = 0.0;
+  double accepted_pkt_node_ns = 0.0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  double zero_load_latency_cycles = 0.0;
+  double zero_load_latency_ns = 0.0;
+  // Highest accepted throughput with latency below the saturation threshold.
+  double saturation_pkt_node_cycle = 0.0;
+  double saturation_pkt_node_ns = 0.0;
+};
+
+// Geometric-ish grid of offered rates up to max_rate.
+std::vector<double> default_rates(double max_rate, int points = 14);
+
+SweepResult injection_sweep(const core::NetworkPlan& plan,
+                            const TrafficConfig& traffic, const SimConfig& cfg,
+                            double clock_ghz, const std::vector<double>& rates);
+
+// Convenience: sweeps up to slightly above the analytic routed bound (which
+// assumes uniform traffic). For other patterns pass max_rate_override, e.g.
+// from routing::analyze_pattern on the pattern's weight matrix.
+SweepResult sweep_to_saturation(const core::NetworkPlan& plan,
+                                const TrafficConfig& traffic,
+                                const SimConfig& cfg, double clock_ghz,
+                                int points = 14,
+                                double max_rate_override = 0.0);
+
+}  // namespace netsmith::sim

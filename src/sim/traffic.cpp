@@ -1,0 +1,32 @@
+#include "sim/traffic.hpp"
+
+namespace netsmith::sim {
+
+std::vector<int> mc_nodes(const topo::Layout& layout) {
+  std::vector<int> mcs;
+  for (int r = 0; r < layout.rows; ++r) {
+    mcs.push_back(layout.id(r, 0));
+    mcs.push_back(layout.id(r, layout.cols - 1));
+  }
+  return mcs;
+}
+
+TrafficConfig traffic_from_pattern(const util::Matrix<double>& weight,
+                                   double injection_rate) {
+  const int n = static_cast<int>(weight.rows());
+  TrafficConfig t;
+  t.kind = TrafficKind::kCustom;
+  t.injection_rate = injection_rate;
+  t.custom.assign(n, {});
+  t.sources.clear();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d || weight(s, d) <= 0.0) continue;
+      t.custom[s].emplace_back(d, weight(s, d));
+    }
+    if (!t.custom[s].empty()) t.sources.push_back(s);
+  }
+  return t;
+}
+
+}  // namespace netsmith::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Synthetic traffic models (paper SIV/SV):
+//  - kCoherence: uniform random destinations, control/data mixed with equal
+//    likelihood (Fig. 6a "coherence traffic").
+//  - kMemory: request/reply to memory-controller routers (Fig. 6b); MCs sit
+//    on the leftmost and rightmost NoI columns. A 1-flit request ejected at
+//    an MC generates a 9-flit data reply to the requester.
+//  - kShuffle: the gem5 shuffle permutation (Fig. 10).
+//  - kCustom: explicit destination list per source (full-system module).
+
+#include <vector>
+
+#include "topo/layout.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::sim {
+
+enum class TrafficKind { kCoherence, kMemory, kShuffle, kCustom };
+
+struct TrafficConfig {
+  TrafficKind kind = TrafficKind::kCoherence;
+  double injection_rate = 0.01;  // offered packets / node / cycle
+  int ctrl_flits = 1;
+  int data_flits = 9;
+  double data_fraction = 0.5;  // coherence/shuffle packet mix
+  std::vector<int> mc_nodes;   // kMemory destinations
+  // kCustom: per source, list of (dst, relative weight); empty = idle node.
+  std::vector<std::vector<std::pair<int, double>>> custom;
+  // kCustom request/reply: if true, ejection of a request at dst generates a
+  // data reply to src.
+  bool custom_reply = false;
+  // Sources that inject (empty = all nodes).
+  std::vector<int> sources;
+};
+
+// Memory-controller routers for the NoI layout: left and right columns.
+std::vector<int> mc_nodes(const topo::Layout& layout);
+
+// Wraps an arbitrary traffic matrix (e.g. core::tornado_pattern) as kCustom
+// traffic: node s picks destination d with probability proportional to
+// weight(s, d). Nodes with no outgoing weight stay idle.
+TrafficConfig traffic_from_pattern(const util::Matrix<double>& weight,
+                                   double injection_rate);
+
+}  // namespace netsmith::sim

@@ -1,0 +1,75 @@
+#include "system/chiplet.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace netsmith::system {
+
+ChipletSystem build_chiplet_system(const topo::DiGraph& noi,
+                                   const topo::Layout& noi_layout,
+                                   const ChipletConfig& cfg) {
+  const int noi_n = noi.num_nodes();
+  if (noi_n != noi_layout.n())
+    throw std::invalid_argument("chiplet system: layout/topology mismatch");
+
+  const int core_rows = cfg.chiplet_rows * cfg.chiplets_y;
+  const int core_cols = cfg.chiplet_cols * cfg.chiplets_x;
+  const int cores = core_rows * core_cols;
+
+  ChipletSystem sys;
+  sys.noi_n = noi_n;
+  sys.num_cores = cores;
+  sys.noi_layout = noi_layout;
+  sys.graph = topo::DiGraph(noi_n + cores);
+  sys.extra_delay = util::Matrix<int>(noi_n + cores, noi_n + cores, 0);
+
+  // NoI links.
+  for (const auto& [i, j] : noi.edges()) sys.graph.add_edge(i, j);
+
+  auto core_id = [&](int gr, int gc) { return noi_n + gr * core_cols + gc; };
+
+  // Per-chiplet NoC meshes: nearest-neighbour links that stay inside one
+  // chiplet.
+  for (int gr = 0; gr < core_rows; ++gr)
+    for (int gc = 0; gc < core_cols; ++gc) {
+      if (gc + 1 < core_cols && gc / cfg.chiplet_cols == (gc + 1) / cfg.chiplet_cols)
+        sys.graph.add_duplex(core_id(gr, gc), core_id(gr, gc + 1));
+      if (gr + 1 < core_rows && gr / cfg.chiplet_rows == (gr + 1) / cfg.chiplet_rows)
+        sys.graph.add_duplex(core_id(gr, gc), core_id(gr + 1, gc));
+    }
+
+  // Core-grid column -> NoI column: edge NoI columns take the leftover
+  // narrow strips ("two cores plus two memory controllers"), interior
+  // columns take 2-wide strips ("four nearest cores").
+  const int interior = noi_layout.cols - 2;
+  const int edge_w = (core_cols - 2 * interior) / 2;
+  if (edge_w < 1 || core_cols != 2 * interior + 2 * edge_w)
+    throw std::invalid_argument("chiplet system: core/NoI column mismatch");
+  auto noi_col = [&](int gc) {
+    if (gc < edge_w) return 0;
+    if (gc >= core_cols - edge_w) return noi_layout.cols - 1;
+    return 1 + (gc - edge_w) / 2;
+  };
+  const int rows_per_noi = core_rows / noi_layout.rows;
+  if (rows_per_noi * noi_layout.rows != core_rows)
+    throw std::invalid_argument("chiplet system: core/NoI row mismatch");
+
+  // CDC links: each core router attaches to its covering NoI router.
+  for (int gr = 0; gr < core_rows; ++gr)
+    for (int gc = 0; gc < core_cols; ++gc) {
+      const int c = core_id(gr, gc);
+      const int r = noi_layout.id(gr / rows_per_noi, noi_col(gc));
+      sys.graph.add_duplex(c, r);
+      sys.extra_delay(c, r) = cfg.cdc_delay;
+      sys.extra_delay(r, c) = cfg.cdc_delay;
+      sys.core_routers.push_back(c);
+    }
+
+  for (int r = 0; r < noi_layout.rows; ++r) {
+    sys.mc_routers.push_back(noi_layout.id(r, 0));
+    sys.mc_routers.push_back(noi_layout.id(r, noi_layout.cols - 1));
+  }
+  return sys;
+}
+
+}  // namespace netsmith::system

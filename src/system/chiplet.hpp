@@ -1,0 +1,40 @@
+#pragma once
+// Full-system substrate (paper SIV, Table IV): 64 cores in 4 chiplets, each
+// chiplet with a 4x4 mesh NoC, stacked over a 4x5 NoI whose topology is the
+// subject under test. NoC<->NoI boundary links cross clock domains (CDC) and
+// carry extra latency. The combined graph has 84 routers, matching the
+// paper's "84 router, full-system configuration" MCLB sizing remark.
+
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::system {
+
+struct ChipletSystem {
+  topo::DiGraph graph;      // NoI routers 0..noi_n-1, then NoC routers
+  int noi_n = 0;            // number of interposer routers
+  int num_cores = 0;        // NoC routers double as cores (1:1)
+  std::vector<int> core_routers;  // global ids of NoC routers
+  std::vector<int> mc_routers;    // NoI routers hosting memory controllers
+  util::Matrix<int> extra_delay;  // per-edge CDC cycles
+  topo::Layout noi_layout;
+};
+
+struct ChipletConfig {
+  int chiplet_rows = 4, chiplet_cols = 4;  // per-chiplet NoC mesh
+  int chiplets_x = 2, chiplets_y = 2;      // chiplet grid over the interposer
+  int cdc_delay = 2;                       // Table IV: 2-cycle CDC
+};
+
+// Attaches the per-chiplet NoC meshes to the given NoI topology. Every NoC
+// router gets a duplex CDC link to the NoI router covering its grid
+// position (middle NoI columns cover 2x2 cores; edge columns cover 2x1,
+// mirroring "four nearest cores" / "two cores plus two memory controllers").
+ChipletSystem build_chiplet_system(const topo::DiGraph& noi,
+                                   const topo::Layout& noi_layout,
+                                   const ChipletConfig& cfg = {});
+
+}  // namespace netsmith::system

@@ -1,0 +1,53 @@
+#include "system/workload.hpp"
+
+namespace netsmith::system {
+
+const std::vector<Benchmark>& parsec_benchmarks() {
+  // Approximate L2 MPKI from PARSEC characterization studies; ordered
+  // ascending, mirroring Fig. 8's X-axis (increasing network sensitivity).
+  static const std::vector<Benchmark> kBenchmarks = {
+      {"blackscholes", 0.08}, {"swaptions", 0.20},     {"raytrace", 0.30},
+      {"bodytrack", 0.50},    {"freqmine", 0.70},      {"x264", 1.00},
+      {"ferret", 1.30},       {"fluidanimate", 1.80},  {"dedup", 2.20},
+      {"facesim", 2.80},      {"streamcluster", 5.50}, {"canneal", 9.00},
+  };
+  return kBenchmarks;
+}
+
+sim::TrafficConfig workload_traffic(const ChipletSystem& sys,
+                                    const Benchmark& bench,
+                                    const PerfModel& model) {
+  sim::TrafficConfig t;
+  t.kind = sim::TrafficKind::kCustom;
+  t.custom_reply = true;  // every miss is a request + data reply
+  t.custom.assign(sys.graph.num_nodes(), {});
+  for (int c : sys.core_routers) {
+    for (int mc : sys.mc_routers) t.custom[c].emplace_back(mc, 1.0);
+  }
+  t.sources = sys.core_routers;
+  t.injection_rate =
+      bench.mpki / 1000.0 * model.ipc_for_rate * model.l2_to_noi_fraction;
+  return t;
+}
+
+WorkloadResult run_workload(const ChipletSystem& sys,
+                            const core::NetworkPlan& plan,
+                            const Benchmark& bench, const PerfModel& model,
+                            const sim::SimConfig& cfg) {
+  sim::SimConfig c = cfg;
+  c.extra_edge_delay = sys.extra_delay;
+  const auto traffic = workload_traffic(sys, bench, model);
+  const auto stats = sim::simulate(plan, traffic, c);
+
+  WorkloadResult r;
+  r.benchmark = bench.name;
+  r.injection_rate = traffic.injection_rate;
+  r.avg_packet_latency_cycles = stats.avg_latency_cycles;
+  // Round trip = request latency + reply latency ~ 2x the mean packet
+  // latency (both directions are measured packets).
+  const double round_trip = 2.0 * stats.avg_latency_cycles;
+  r.cpi = model.cpi_base + bench.mpki / 1000.0 * round_trip / model.mlp;
+  return r;
+}
+
+}  // namespace netsmith::system

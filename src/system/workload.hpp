@@ -1,0 +1,61 @@
+#pragma once
+// PARSEC workload substitute (paper SV-C, Fig. 8; see DESIGN.md for the
+// substitution argument).
+//
+// Each benchmark is characterized by its L2 misses-per-kilo-instruction
+// (values approximated from the PARSEC characterization literature, ordered
+// exactly as the paper's Fig. 8 X-axis is: increasing network sensitivity).
+// A benchmark's cores inject request packets to the memory controllers at a
+// rate proportional to its MPKI; the measured round-trip packet latency
+// feeds an analytic CPI model:
+//     CPI = CPI_base + (MPKI/1000) * round_trip_cycles / MLP
+// Speedup vs the mesh NoI and per-benchmark packet-latency reduction are the
+// Fig. 8 outputs.
+
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "system/chiplet.hpp"
+
+namespace netsmith::system {
+
+struct Benchmark {
+  std::string name;
+  double mpki;  // L2 misses per kilo-instruction
+};
+
+// The simulated PARSEC set (vips excluded, as in the paper), ascending MPKI.
+const std::vector<Benchmark>& parsec_benchmarks();
+
+struct PerfModel {
+  double cpi_base = 1.0;
+  double mlp = 1.5;          // overlapped misses
+  double ipc_for_rate = 1.0; // instructions/cycle when converting MPKI->rate
+  // Fraction of L2 misses that actually cross the interposer (the rest are
+  // chiplet-local directory hits / core-to-core transfers). Calibrated so
+  // the heaviest benchmark (canneal) drives the mesh near — but not past —
+  // saturation, matching the dynamic range of the paper's Fig. 8 bars.
+  double l2_to_noi_fraction = 0.5;
+};
+
+struct WorkloadResult {
+  std::string benchmark;
+  double injection_rate = 0.0;        // packets/core/cycle offered
+  double avg_packet_latency_cycles = 0.0;
+  double cpi = 0.0;
+};
+
+// Simulates one benchmark's memory traffic over the full system and returns
+// the measured latency + modeled CPI.
+WorkloadResult run_workload(const ChipletSystem& sys,
+                            const core::NetworkPlan& plan,
+                            const Benchmark& bench, const PerfModel& model,
+                            const sim::SimConfig& cfg);
+
+// Builds the kCustom request/reply traffic (cores -> MCs) for a benchmark.
+sim::TrafficConfig workload_traffic(const ChipletSystem& sys,
+                                    const Benchmark& bench,
+                                    const PerfModel& model);
+
+}  // namespace netsmith::system

@@ -1,0 +1,67 @@
+#include "topo/builders.hpp"
+
+#include <algorithm>
+
+namespace netsmith::topo {
+
+DiGraph build_mesh(const Layout& layout) {
+  DiGraph g(layout.n());
+  for (int r = 0; r < layout.rows; ++r)
+    for (int c = 0; c < layout.cols; ++c) {
+      if (c + 1 < layout.cols) g.add_duplex(layout.id(r, c), layout.id(r, c + 1));
+      if (r + 1 < layout.rows) g.add_duplex(layout.id(r, c), layout.id(r + 1, c));
+    }
+  return g;
+}
+
+DiGraph build_torus(const Layout& layout) {
+  DiGraph g(layout.n());
+  for (int r = 0; r < layout.rows; ++r)
+    for (int c = 0; c < layout.cols; ++c) {
+      g.add_duplex(layout.id(r, c), layout.id(r, (c + 1) % layout.cols));
+      g.add_duplex(layout.id(r, c), layout.id((r + 1) % layout.rows, c));
+    }
+  return g;
+}
+
+DiGraph build_folded_torus(const Layout& layout) { return build_torus(layout); }
+
+DiGraph build_random(const Layout& layout, LinkClass cls, int radix,
+                     util::Rng& rng) {
+  DiGraph g(layout.n());
+  auto links = valid_links(layout, cls);
+  rng.shuffle(links);
+  for (const auto& [i, j] : links) {
+    if (g.out_degree(i) < radix && g.in_degree(j) < radix) g.add_edge(i, j);
+  }
+  return g;
+}
+
+DiGraph build_random_symmetric(const Layout& layout, LinkClass cls, int radix,
+                               util::Rng& rng) {
+  DiGraph g(layout.n());
+  std::vector<std::pair<int, int>> links;
+  for (const auto& [i, j] : valid_links(layout, cls))
+    if (i < j) links.emplace_back(i, j);
+  rng.shuffle(links);
+  for (const auto& [i, j] : links) {
+    if (g.out_degree(i) < radix && g.in_degree(i) < radix &&
+        g.out_degree(j) < radix && g.in_degree(j) < radix)
+      g.add_duplex(i, j);
+  }
+  return g;
+}
+
+bool respects_link_class(const DiGraph& g, const Layout& layout, LinkClass cls) {
+  for (const auto& [i, j] : g.edges())
+    if (!link_allowed(layout, i, j, cls)) return false;
+  return true;
+}
+
+bool respects_radix(const DiGraph& g, int radix) {
+  for (int i = 0; i < g.num_nodes(); ++i)
+    if (g.out_degree(i) > radix || g.in_degree(i) > radix) return false;
+  return true;
+}
+
+}  // namespace netsmith::topo

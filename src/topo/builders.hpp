@@ -1,0 +1,39 @@
+#pragma once
+// Generator-exact topology builders: the regular networks whose adjacency
+// follows directly from a published rule (mesh, torus, folded torus,
+// concentrated mesh) plus random graphs for tests.
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::topo {
+
+// 2-D mesh with full-duplex nearest-neighbour links.
+DiGraph build_mesh(const Layout& layout);
+
+// 2-D torus (wraparound rings in both dimensions). With the folded physical
+// arrangement every wire spans at most 2 grid hops, so a folded torus is a
+// "medium" network in the Kite taxonomy the paper uses.
+DiGraph build_torus(const Layout& layout);
+
+// Alias documenting intent: the folded torus has torus adjacency; folding is
+// purely physical (link-length classification).
+DiGraph build_folded_torus(const Layout& layout);
+
+// Random topology: repeatedly adds valid directed links (per link class)
+// while respecting the radix; used by tests and as annealer seeds.
+DiGraph build_random(const Layout& layout, LinkClass cls, int radix,
+                     util::Rng& rng);
+
+// Random *symmetric* topology under the same constraints.
+DiGraph build_random_symmetric(const Layout& layout, LinkClass cls, int radix,
+                               util::Rng& rng);
+
+// True iff every edge of g is permitted by the link class on this layout.
+bool respects_link_class(const DiGraph& g, const Layout& layout, LinkClass cls);
+
+// True iff all out-degrees and in-degrees are <= radix (constraint C2).
+bool respects_radix(const DiGraph& g, int radix);
+
+}  // namespace netsmith::topo

@@ -1,0 +1,345 @@
+#include "topo/cuts.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace netsmith::topo {
+
+namespace {
+
+double ratio(int cross_uv, int cross_vu, int u_size, int n) {
+  const int v_size = n - u_size;
+  const int cap = std::min(cross_uv, cross_vu);
+  return static_cast<double>(cap) /
+         (static_cast<double>(u_size) * static_cast<double>(v_size));
+}
+
+// Counts cross edges for an explicit membership vector.
+void count_cross(const DiGraph& g, const std::vector<std::uint8_t>& in_u,
+                 int* cross_uv, int* cross_vu) {
+  int uv = 0, vu = 0;
+  const int n = g.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    for (int j : g.out_neighbors(i)) {
+      if (in_u[i] && !in_u[j]) ++uv;
+      else if (!in_u[i] && in_u[j]) ++vu;
+    }
+  }
+  *cross_uv = uv;
+  *cross_vu = vu;
+}
+
+Cut make_cut(const DiGraph& g, std::uint64_t mask) {
+  const int n = g.num_nodes();
+  std::vector<std::uint8_t> in_u(n, 0);
+  int usz = 0;
+  for (int i = 0; i < n; ++i)
+    if (mask >> i & 1) {
+      in_u[i] = 1;
+      ++usz;
+    }
+  Cut c;
+  c.u_mask = mask;
+  c.u_size = usz;
+  count_cross(g, in_u, &c.cross_uv, &c.cross_vu);
+  c.bandwidth = (usz == 0 || usz == n)
+                    ? std::numeric_limits<double>::infinity()
+                    : ratio(c.cross_uv, c.cross_vu, usz, n);
+  return c;
+}
+
+// Flips node b's membership and updates cross counts in O(deg(b)).
+void flip_node(const DiGraph& g, std::vector<std::uint8_t>& in_u, int b,
+               int* cross_uv, int* cross_vu, int* u_size) {
+  const bool entering_u = !in_u[b];
+  // Remove b's current contribution, then re-add with flipped membership.
+  for (int x : g.out_neighbors(b)) {
+    // Edge b -> x.
+    if (in_u[b] && !in_u[x]) --*cross_uv;
+    else if (!in_u[b] && in_u[x]) --*cross_vu;
+  }
+  for (int x : g.in_neighbors(b)) {
+    // Edge x -> b.
+    if (in_u[x] && !in_u[b]) --*cross_uv;
+    else if (!in_u[x] && in_u[b]) --*cross_vu;
+  }
+  in_u[b] = entering_u ? 1 : 0;
+  *u_size += entering_u ? 1 : -1;
+  for (int x : g.out_neighbors(b)) {
+    if (in_u[b] && !in_u[x]) ++*cross_uv;
+    else if (!in_u[b] && in_u[x]) ++*cross_vu;
+  }
+  for (int x : g.in_neighbors(b)) {
+    if (in_u[x] && !in_u[b]) ++*cross_uv;
+    else if (!in_u[x] && in_u[b]) ++*cross_vu;
+  }
+}
+
+}  // namespace
+
+Cut evaluate_cut(const DiGraph& g, std::uint64_t u_mask) {
+  return make_cut(g, u_mask);
+}
+
+Cut sparsest_cut_exact(const DiGraph& g) {
+  const int n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("sparsest_cut_exact: n < 2");
+  if (n > 26) throw std::invalid_argument("sparsest_cut_exact: n > 26");
+  // Fix node n-1 in V so every unordered partition is visited exactly once.
+  const std::uint64_t total = 1ULL << (n - 1);
+
+  Cut best;
+  best.bandwidth = std::numeric_limits<double>::infinity();
+
+#pragma omp parallel
+  {
+    Cut local_best;
+    local_best.bandwidth = std::numeric_limits<double>::infinity();
+
+    const int threads = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+    const std::uint64_t chunk = (total + threads - 1) / threads;
+    const std::uint64_t lo = std::max<std::uint64_t>(1, tid * chunk);
+    const std::uint64_t hi = std::min(total, (tid + 1) * chunk);
+
+    if (lo < hi) {
+      // Gray-code walk: gray(i) and gray(i+1) differ in bit ctz(i+1).
+      std::uint64_t gray = lo ^ (lo >> 1);
+      std::vector<std::uint8_t> in_u(n, 0);
+      int usz = 0, uv = 0, vu = 0;
+      for (int b = 0; b < n - 1; ++b)
+        if (gray >> b & 1) {
+          in_u[b] = 1;
+          ++usz;
+        }
+      count_cross(g, in_u, &uv, &vu);
+
+      for (std::uint64_t i = lo;; ++i) {
+        if (usz > 0) {
+          const double bw = ratio(uv, vu, usz, n);
+          if (bw < local_best.bandwidth) {
+            local_best.bandwidth = bw;
+            local_best.u_mask = gray;
+            local_best.u_size = usz;
+            local_best.cross_uv = uv;
+            local_best.cross_vu = vu;
+          }
+        }
+        if (i + 1 >= hi) break;
+        const int flip = std::countr_zero(i + 1);
+        gray ^= 1ULL << flip;
+        flip_node(g, in_u, flip, &uv, &vu, &usz);
+      }
+    }
+
+#pragma omp critical
+    {
+      if (local_best.bandwidth < best.bandwidth ||
+          (local_best.bandwidth == best.bandwidth &&
+           local_best.u_mask < best.u_mask))
+        best = local_best;
+    }
+  }
+  return best;
+}
+
+Cut sparsest_cut_heuristic(const DiGraph& g, util::Rng& rng, int restarts) {
+  const int n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("sparsest_cut_heuristic: n < 2");
+  Cut best;
+  best.bandwidth = std::numeric_limits<double>::infinity();
+
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<std::uint8_t> in_u(n, 0);
+    int usz = 0;
+    // Random initial subset of random target size in [1, n-1].
+    const int target = static_cast<int>(rng.uniform_int(1, n - 1));
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+    rng.shuffle(perm);
+    for (int i = 0; i < target; ++i) {
+      in_u[perm[i]] = 1;
+      ++usz;
+    }
+    int uv = 0, vu = 0;
+    count_cross(g, in_u, &uv, &vu);
+
+    // Steepest single-node moves until a local minimum of the ratio.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      double cur = ratio(uv, vu, usz, n);
+      int best_node = -1;
+      double best_bw = cur;
+      for (int b = 0; b < n; ++b) {
+        // Don't empty either side.
+        if ((in_u[b] && usz == 1) || (!in_u[b] && usz == n - 1)) continue;
+        flip_node(g, in_u, b, &uv, &vu, &usz);
+        const double bw = ratio(uv, vu, usz, n);
+        if (bw < best_bw - 1e-12) {
+          best_bw = bw;
+          best_node = b;
+        }
+        flip_node(g, in_u, b, &uv, &vu, &usz);  // undo
+      }
+      if (best_node >= 0) {
+        flip_node(g, in_u, best_node, &uv, &vu, &usz);
+        improved = true;
+      }
+    }
+
+    const double bw = ratio(uv, vu, usz, n);
+    if (bw < best.bandwidth) {
+      std::uint64_t mask = 0;
+      for (int i = 0; i < n; ++i)
+        if (in_u[i]) mask |= 1ULL << i;
+      best.bandwidth = bw;
+      best.u_mask = mask;
+      best.u_size = usz;
+      best.cross_uv = uv;
+      best.cross_vu = vu;
+    }
+  }
+  return best;
+}
+
+Cut sparsest_cut(const DiGraph& g) {
+  if (g.num_nodes() <= 22) return sparsest_cut_exact(g);
+  util::Rng rng(0xC0FFEE);
+  return sparsest_cut_heuristic(g, rng, 128);
+}
+
+std::vector<Cut> sparsest_cuts_topk(const DiGraph& g, int k) {
+  const int n = g.num_nodes();
+  if (n > 26) throw std::invalid_argument("sparsest_cuts_topk: n > 26");
+  const std::uint64_t total = 1ULL << (n - 1);
+
+  // Per-thread top-k kept as a sorted vector (k is small).
+  std::vector<std::vector<Cut>> partial;
+#pragma omp parallel
+  {
+#pragma omp single
+    partial.resize(omp_get_num_threads());
+    auto& local = partial[omp_get_thread_num()];
+
+    const int threads = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+    const std::uint64_t chunk = (total + threads - 1) / threads;
+    const std::uint64_t lo = std::max<std::uint64_t>(1, tid * chunk);
+    const std::uint64_t hi = std::min(total, (tid + 1) * chunk);
+
+    if (lo < hi) {
+      std::uint64_t gray = lo ^ (lo >> 1);
+      std::vector<std::uint8_t> in_u(n, 0);
+      int usz = 0, uv = 0, vu = 0;
+      for (int b = 0; b < n - 1; ++b)
+        if (gray >> b & 1) {
+          in_u[b] = 1;
+          ++usz;
+        }
+      count_cross(g, in_u, &uv, &vu);
+
+      auto consider = [&](std::uint64_t mask, int s, int cuv, int cvu) {
+        if (s == 0) return;
+        const double bw = ratio(cuv, cvu, s, n);
+        if (static_cast<int>(local.size()) == k && bw >= local.back().bandwidth)
+          return;
+        Cut c{mask, s, cuv, cvu, bw};
+        auto it = std::lower_bound(
+            local.begin(), local.end(), c,
+            [](const Cut& a, const Cut& b) { return a.bandwidth < b.bandwidth; });
+        local.insert(it, c);
+        if (static_cast<int>(local.size()) > k) local.pop_back();
+      };
+
+      for (std::uint64_t i = lo;; ++i) {
+        consider(gray, usz, uv, vu);
+        if (i + 1 >= hi) break;
+        const int flip = std::countr_zero(i + 1);
+        gray ^= 1ULL << flip;
+        flip_node(g, in_u, flip, &uv, &vu, &usz);
+      }
+    }
+  }
+
+  std::vector<Cut> merged;
+  for (auto& p : partial) merged.insert(merged.end(), p.begin(), p.end());
+  std::sort(merged.begin(), merged.end(), [](const Cut& a, const Cut& b) {
+    if (a.bandwidth != b.bandwidth) return a.bandwidth < b.bandwidth;
+    return a.u_mask < b.u_mask;
+  });
+  if (static_cast<int>(merged.size()) > k) merged.resize(k);
+  return merged;
+}
+
+int bisection_bandwidth(const DiGraph& g) {
+  const int n = g.num_nodes();
+  if (n < 2) return 0;
+  const int half = n / 2;
+
+  if (n <= 24) {
+    // Enumerate subsets of size `half` with node n-1 fixed in V (for even n
+    // this visits each unordered bisection once; for odd n, U is the smaller
+    // side).
+    int best = std::numeric_limits<int>::max();
+    std::vector<std::uint8_t> in_u(n, 0);
+    // Iterate combinations of {0..n-2} choose half via bit tricks.
+    std::uint64_t comb = (1ULL << half) - 1;
+    const std::uint64_t limit = 1ULL << (n - 1);
+    while (comb < limit) {
+      std::fill(in_u.begin(), in_u.end(), 0);
+      for (int i = 0; i < n - 1; ++i)
+        if (comb >> i & 1) in_u[i] = 1;
+      int uv = 0, vu = 0;
+      count_cross(g, in_u, &uv, &vu);
+      best = std::min(best, std::min(uv, vu));
+      // Gosper's hack: next combination with the same popcount.
+      const std::uint64_t c = comb & (~comb + 1);
+      const std::uint64_t r = comb + c;
+      comb = (((r ^ comb) >> 2) / c) | r;
+    }
+    return best;
+  }
+
+  // Heuristic: random balanced partitions + pair-swap refinement.
+  util::Rng rng(0xB15EC7);
+  int best = std::numeric_limits<int>::max();
+  for (int restart = 0; restart < 96; ++restart) {
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+    rng.shuffle(perm);
+    std::vector<std::uint8_t> in_u(n, 0);
+    for (int i = 0; i < half; ++i) in_u[perm[i]] = 1;
+    int uv = 0, vu = 0;
+    count_cross(g, in_u, &uv, &vu);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      int usz = half;
+      for (int a = 0; a < n && !improved; ++a) {
+        if (!in_u[a]) continue;
+        for (int b = 0; b < n && !improved; ++b) {
+          if (in_u[b]) continue;
+          const int before = std::min(uv, vu);
+          flip_node(g, in_u, a, &uv, &vu, &usz);
+          flip_node(g, in_u, b, &uv, &vu, &usz);
+          if (std::min(uv, vu) < before) {
+            improved = true;
+          } else {
+            flip_node(g, in_u, b, &uv, &vu, &usz);
+            flip_node(g, in_u, a, &uv, &vu, &usz);
+          }
+        }
+      }
+    }
+    best = std::min(best, std::min(uv, vu));
+  }
+  return best;
+}
+
+}  // namespace netsmith::topo

@@ -1,0 +1,98 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace netsmith::topo {
+
+DiGraph::DiGraph(int n)
+    : n_(n),
+      adj_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      out_(n),
+      in_(n) {
+  assert(n >= 0);
+}
+
+bool DiGraph::add_edge(int i, int j) {
+  assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+  if (i == j || adj_[idx(i, j)]) return false;
+  adj_[idx(i, j)] = 1;
+  out_[i].push_back(j);
+  in_[j].push_back(i);
+  ++edges_;
+  return true;
+}
+
+bool DiGraph::remove_edge(int i, int j) {
+  assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+  if (!adj_[idx(i, j)]) return false;
+  adj_[idx(i, j)] = 0;
+  auto& o = out_[i];
+  o.erase(std::find(o.begin(), o.end(), j));
+  auto& in = in_[j];
+  in.erase(std::find(in.begin(), in.end(), i));
+  --edges_;
+  return true;
+}
+
+int DiGraph::add_duplex(int i, int j) {
+  return static_cast<int>(add_edge(i, j)) + static_cast<int>(add_edge(j, i));
+}
+
+std::vector<std::pair<int, int>> DiGraph::edges() const {
+  std::vector<std::pair<int, int>> e;
+  e.reserve(static_cast<std::size_t>(edges_));
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      if (adj_[idx(i, j)]) e.emplace_back(i, j);
+  return e;
+}
+
+bool DiGraph::is_symmetric() const {
+  for (int i = 0; i < n_; ++i)
+    for (int j = i + 1; j < n_; ++j)
+      if (adj_[idx(i, j)] != adj_[idx(j, i)]) return false;
+  return true;
+}
+
+DiGraph DiGraph::reversed() const {
+  DiGraph r(n_);
+  for (int i = 0; i < n_; ++i)
+    for (int j : out_[i]) r.add_edge(j, i);
+  return r;
+}
+
+std::string DiGraph::to_string() const {
+  std::ostringstream os;
+  os << n_ << ':';
+  bool first = true;
+  for (const auto& [i, j] : edges()) {
+    if (!first) os << ',';
+    first = false;
+    os << i << '>' << j;
+  }
+  return os.str();
+}
+
+DiGraph DiGraph::from_string(const std::string& s) {
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) throw std::invalid_argument("DiGraph: missing ':'");
+  const int n = std::stoi(s.substr(0, colon));
+  DiGraph g(n);
+  std::size_t pos = colon + 1;
+  while (pos < s.size()) {
+    auto gt = s.find('>', pos);
+    if (gt == std::string::npos) throw std::invalid_argument("DiGraph: missing '>'");
+    auto comma = s.find(',', gt);
+    if (comma == std::string::npos) comma = s.size();
+    const int i = std::stoi(s.substr(pos, gt - pos));
+    const int j = std::stoi(s.substr(gt + 1, comma - gt - 1));
+    g.add_edge(i, j);
+    pos = comma + 1;
+  }
+  return g;
+}
+
+}  // namespace netsmith::topo

@@ -1,0 +1,65 @@
+#pragma once
+// Directed graph over integer-labelled routers. This is NetSmith's
+// "connectivity map" M (paper Table I): element (i, j) set iff a
+// unidirectional link connects router i to router j. Symmetric (full-duplex)
+// links are simply a pair of opposing directed edges; NetSmith counts one
+// full-duplex-equivalent "link" per two directed edges when reporting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netsmith::topo {
+
+class DiGraph {
+ public:
+  DiGraph() = default;
+  explicit DiGraph(int n);
+
+  int num_nodes() const { return n_; }
+
+  bool has_edge(int i, int j) const { return adj_[idx(i, j)] != 0; }
+
+  // Returns true if the edge was newly inserted.
+  bool add_edge(int i, int j);
+  // Returns true if the edge existed and was removed.
+  bool remove_edge(int i, int j);
+  // Adds both directions; returns number of directed edges inserted (0-2).
+  int add_duplex(int i, int j);
+
+  const std::vector<int>& out_neighbors(int i) const { return out_[i]; }
+  const std::vector<int>& in_neighbors(int i) const { return in_[i]; }
+  int out_degree(int i) const { return static_cast<int>(out_[i].size()); }
+  int in_degree(int i) const { return static_cast<int>(in_[i].size()); }
+
+  int num_directed_edges() const { return edges_; }
+  // Paper Table II "# Links": full-duplex-equivalent links = directed / 2.
+  double duplex_links() const { return edges_ / 2.0; }
+
+  // All directed edges as (src, dst) pairs in deterministic order.
+  std::vector<std::pair<int, int>> edges() const;
+
+  bool is_symmetric() const;
+  DiGraph reversed() const;
+
+  // Raw adjacency row (n bytes, 0/1) for hot loops (cut enumeration).
+  const std::uint8_t* row(int i) const { return &adj_[static_cast<std::size_t>(i) * n_]; }
+
+  bool operator==(const DiGraph& o) const { return n_ == o.n_ && adj_ == o.adj_; }
+
+  // Compact textual form "n:i>j,i>j,..." for goldens/serialization.
+  std::string to_string() const;
+  static DiGraph from_string(const std::string& s);
+
+ private:
+  std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+  int n_ = 0;
+  int edges_ = 0;
+  std::vector<std::uint8_t> adj_;
+  std::vector<std::vector<int>> out_, in_;
+};
+
+}  // namespace netsmith::topo

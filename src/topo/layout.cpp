@@ -1,0 +1,67 @@
+#include "topo/layout.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace netsmith::topo {
+
+std::string to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSmall: return "small";
+    case LinkClass::kMedium: return "medium";
+    case LinkClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+double clock_ghz(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSmall: return 3.6;
+    case LinkClass::kMedium: return 3.0;
+    case LinkClass::kLarge: return 2.7;
+  }
+  return 3.0;
+}
+
+bool link_allowed(const Layout& layout, int i, int j, LinkClass c) {
+  if (i == j) return false;
+  const int dx = std::abs(layout.col(i) - layout.col(j));
+  const int dy = std::abs(layout.row(i) - layout.row(j));
+  if (dx == 0 && dy == 0) return false;
+  // Small: Manhattan neighbourhood up to (1,1).
+  if (dx <= 1 && dy <= 1) return true;
+  if (c == LinkClass::kSmall) return false;
+  // Medium additionally allows straight 2-hop links.
+  if ((dx == 2 && dy == 0) || (dx == 0 && dy == 2)) return true;
+  if (c == LinkClass::kMedium) return false;
+  // Large additionally allows knight-style (2,1) links.
+  if ((dx == 2 && dy == 1) || (dx == 1 && dy == 2)) return true;
+  return false;
+}
+
+std::vector<std::pair<int, int>> valid_links(const Layout& layout, LinkClass c) {
+  std::vector<std::pair<int, int>> links;
+  const int n = layout.n();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (link_allowed(layout, i, j, c)) links.emplace_back(i, j);
+  return links;
+}
+
+double link_length_mm(const Layout& layout, int i, int j) {
+  const double dx = (layout.col(i) - layout.col(j)) * layout.pitch_mm;
+  const double dy = (layout.row(i) - layout.row(j)) * layout.pitch_mm;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+LinkClass classify_span(int dx, int dy) {
+  dx = std::abs(dx);
+  dy = std::abs(dy);
+  if (dx <= 1 && dy <= 1) return LinkClass::kSmall;
+  if ((dx == 2 && dy == 0) || (dx == 0 && dy == 2)) return LinkClass::kMedium;
+  if ((dx == 2 && dy == 1) || (dx == 1 && dy == 2)) return LinkClass::kLarge;
+  throw std::invalid_argument("span exceeds the large link class");
+}
+
+}  // namespace netsmith::topo

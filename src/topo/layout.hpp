@@ -1,0 +1,56 @@
+#pragma once
+// Physical router placement and link-length classes.
+//
+// Routers sit on a rows x cols grid on the interposer (paper Fig. 2(b): the
+// 20-router NoI is 4 rows x 5 columns). Links are classified by the grid hops
+// they span in X and Y, following the Kite taxonomy the paper adopts
+// (Fig. 3): a "small" network may only use links spanning up to (1,1); a
+// "medium" network additionally allows (2,0); a "large" network additionally
+// allows (2,1). The class determines the fastest safe clock for the NoI
+// (paper SIV: 3.6 / 3.0 / 2.7 GHz).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netsmith::topo {
+
+struct Layout {
+  int rows = 0;
+  int cols = 0;
+  double pitch_mm = 2.0;  // grid pitch used by the wire delay/power models
+
+  int n() const { return rows * cols; }
+  int id(int r, int c) const { return r * cols + c; }
+  int row(int v) const { return v / cols; }
+  int col(int v) const { return v % cols; }
+
+  static Layout noi_4x5() { return Layout{4, 5, 2.0}; }
+  static Layout noi_6x5() { return Layout{6, 5, 2.0}; }
+  static Layout noi_8x6() { return Layout{8, 6, 2.0}; }
+};
+
+enum class LinkClass { kSmall, kMedium, kLarge };
+
+std::string to_string(LinkClass c);
+
+// Highest safe NoI clock for the given longest-link class (paper SIV).
+double clock_ghz(LinkClass c);
+
+// True iff a link between routers i and j respects the class's span limit.
+// Spans are cumulative: small = {(1,0),(0,1),(1,1)}, medium adds (2,0)/(0,2),
+// large adds (2,1)/(1,2).
+bool link_allowed(const Layout& layout, int i, int j, LinkClass c);
+
+// All ordered router pairs (i, j), i != j, that the class permits. This is
+// the valid-link set L of constraint C3 in the paper's Table I.
+std::vector<std::pair<int, int>> valid_links(const Layout& layout, LinkClass c);
+
+// Euclidean wire length in mm (used by delay verification and DSENT-lite).
+double link_length_mm(const Layout& layout, int i, int j);
+
+// Smallest class that admits every edge of the given span list; used to
+// classify reconstructed expert topologies.
+LinkClass classify_span(int dx, int dy);
+
+}  // namespace netsmith::topo

@@ -1,0 +1,111 @@
+#include "topo/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netsmith::topo {
+
+std::vector<int> bfs_distances(const DiGraph& g, int src) {
+  const int n = g.num_nodes();
+  std::vector<int> dist(n, kUnreachable);
+  std::vector<int> queue;
+  queue.reserve(n);
+  dist[src] = 0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    const int du = dist[u];
+    for (int v : g.out_neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+util::Matrix<int> apsp_bfs(const DiGraph& g) {
+  const int n = g.num_nodes();
+  util::Matrix<int> d(n, n, 0);
+  for (int s = 0; s < n; ++s) {
+    const auto row = bfs_distances(g, s);
+    for (int t = 0; t < n; ++t) d(s, t) = row[t];
+  }
+  return d;
+}
+
+util::Matrix<int> apsp_floyd_warshall(const DiGraph& g) {
+  const int n = g.num_nodes();
+  util::Matrix<int> d(n, n, kUnreachable);
+  for (int i = 0; i < n; ++i) d(i, i) = 0;
+  for (const auto& [i, j] : g.edges()) d(i, j) = 1;
+  for (int k = 0; k < n; ++k)
+    for (int i = 0; i < n; ++i) {
+      const int dik = d(i, k);
+      if (dik >= kUnreachable) continue;
+      for (int j = 0; j < n; ++j) {
+        const int via = dik + d(k, j);
+        if (via < d(i, j)) d(i, j) = via;
+      }
+    }
+  return d;
+}
+
+std::int64_t total_hops(const util::Matrix<int>& dist) {
+  const std::size_t n = dist.rows();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      total += dist(i, j);
+    }
+  return total;
+}
+
+double average_hops(const util::Matrix<int>& dist) {
+  const auto n = static_cast<std::int64_t>(dist.rows());
+  if (n < 2) return 0.0;
+  return static_cast<double>(total_hops(dist)) / static_cast<double>(n * (n - 1));
+}
+
+double average_hops(const DiGraph& g) { return average_hops(apsp_bfs(g)); }
+
+int diameter(const util::Matrix<int>& dist) {
+  const std::size_t n = dist.rows();
+  int d = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i != j) d = std::max(d, dist(i, j));
+  return d;
+}
+
+int diameter(const DiGraph& g) { return diameter(apsp_bfs(g)); }
+
+bool strongly_connected(const DiGraph& g) {
+  const int n = g.num_nodes();
+  if (n == 0) return true;
+  auto reaches_all = [n](const std::vector<int>& dist) {
+    return std::all_of(dist.begin(), dist.end(),
+                       [](int d) { return d < kUnreachable; });
+  };
+  if (!reaches_all(bfs_distances(g, 0))) return false;
+  return reaches_all(bfs_distances(g.reversed(), 0));
+}
+
+double weighted_hops(const util::Matrix<int>& dist, const util::Matrix<double>& weight) {
+  assert(dist.rows() == weight.rows() && dist.cols() == weight.cols());
+  const std::size_t n = dist.rows();
+  double total = 0.0, wsum = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double w = weight(i, j);
+      if (w <= 0.0) continue;
+      total += w * dist(i, j);
+      wsum += w;
+    }
+  return wsum > 0.0 ? total / wsum : 0.0;
+}
+
+}  // namespace netsmith::topo

@@ -1,0 +1,46 @@
+#pragma once
+// Graph distance metrics: the latency-side quantities NetSmith optimizes.
+// Average hop count under uniform all-to-all traffic (paper SII-C) and the
+// network diameter (constraint C8).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::topo {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max() / 4;
+
+// Single-source BFS hop distances; unreachable nodes get kUnreachable.
+std::vector<int> bfs_distances(const DiGraph& g, int src);
+
+// All-pairs shortest hop distances via n BFS traversals (O(n*(n+m))).
+util::Matrix<int> apsp_bfs(const DiGraph& g);
+
+// All-pairs shortest hop distances via Floyd-Warshall; used as an
+// independent oracle in property tests.
+util::Matrix<int> apsp_floyd_warshall(const DiGraph& g);
+
+// Sum of D(s,d) over all ordered pairs s != d (objective O1 in Table I).
+// Returns a kUnreachable-scaled huge value if the graph is not strongly
+// connected, so disconnected candidates always lose.
+std::int64_t total_hops(const util::Matrix<int>& dist);
+
+// total_hops / (n*(n-1)); matches Table II "Avg. Hops".
+double average_hops(const DiGraph& g);
+double average_hops(const util::Matrix<int>& dist);
+
+// Max finite distance; kUnreachable if disconnected.
+int diameter(const util::Matrix<int>& dist);
+int diameter(const DiGraph& g);
+
+bool strongly_connected(const DiGraph& g);
+
+// Traffic-weighted average hops: sum_{s,d} w(s,d) * D(s,d) / sum w. Used for
+// pattern-optimized synthesis (paper SV-E, shuffle).
+double weighted_hops(const util::Matrix<int>& dist, const util::Matrix<double>& weight);
+
+}  // namespace netsmith::topo

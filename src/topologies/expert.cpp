@@ -1,0 +1,51 @@
+#include "topologies/expert.hpp"
+
+#include <stdexcept>
+
+#include "topologies/frozen_data.inc"
+
+namespace netsmith::topologies {
+
+namespace {
+
+const FrozenEntry* find_entry(const std::string& name) {
+  for (const auto& e : kFrozen)
+    if (name == e.name) return &e;
+  return nullptr;
+}
+
+std::string size_suffix(topo::LinkClass cls) { return topo::to_string(cls); }
+
+}  // namespace
+
+bool has_frozen(const std::string& name) { return find_entry(name) != nullptr; }
+
+topo::DiGraph frozen(const std::string& name) {
+  const FrozenEntry* e = find_entry(name);
+  if (!e)
+    throw std::invalid_argument("no frozen topology named '" + name +
+                                "' (run tools/reconstruct to regenerate)");
+  return topo::DiGraph::from_string(e->adjacency);
+}
+
+topo::DiGraph kite(int routers, topo::LinkClass size) {
+  return frozen("Kite-" + size_suffix(size) + "-" + std::to_string(routers));
+}
+
+topo::DiGraph butter_donut(int routers) {
+  return frozen("ButterDonut-" + std::to_string(routers));
+}
+
+topo::DiGraph double_butterfly(int routers) {
+  return frozen("DoubleButterfly-" + std::to_string(routers));
+}
+
+topo::DiGraph lpbt_power_small(int routers) {
+  return frozen("LPBT-Power-small-" + std::to_string(routers));
+}
+
+topo::DiGraph lpbt_hops(int routers, topo::LinkClass size) {
+  return frozen("LPBT-Hops-" + size_suffix(size) + "-" + std::to_string(routers));
+}
+
+}  // namespace netsmith::topologies

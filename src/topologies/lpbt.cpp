@@ -1,0 +1,121 @@
+#include "topologies/lpbt.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace netsmith::topologies {
+
+namespace {
+
+struct LpbtModel {
+  lp::Model model;
+  std::vector<int> m_var;  // link existence, -1 outside the valid set
+  int n = 0;
+
+  int M(int i, int j) const {
+    return m_var[static_cast<std::size_t>(i) * n + j];
+  }
+};
+
+// Flow variables f[s][d][(i,j)]: does flow (s,d) traverse link (i,j)?
+// Conservation at every node; a traversed link must exist; link existence
+// is capped by the radix. This is the per-flow port-mapping style of [46]:
+// the solver must discover every flow's route, which is what blows up the
+// search compared to NetSmith's distance encoding.
+LpbtModel build(const topo::Layout& layout, topo::LinkClass cls, int radix,
+                LpbtObjective obj) {
+  const int n = layout.n();
+  LpbtModel out;
+  out.n = n;
+  lp::Model& m = out.model;
+
+  const auto links = topo::valid_links(layout, cls);
+
+  out.m_var.assign(static_cast<std::size_t>(n) * n, -1);
+  for (const auto& [i, j] : links) {
+    double cost = 0.0;
+    if (obj == LpbtObjective::kPower)
+      cost = topo::link_length_mm(layout, i, j);
+    out.m_var[static_cast<std::size_t>(i) * n + j] = m.add_binary(cost);
+  }
+
+  // Radix rows.
+  for (int i = 0; i < n; ++i) {
+    std::vector<lp::Term> out_row, in_row;
+    for (int j = 0; j < n; ++j) {
+      if (out.M(i, j) >= 0) out_row.push_back({out.M(i, j), 1.0});
+      if (out.M(j, i) >= 0) in_row.push_back({out.M(j, i), 1.0});
+    }
+    if (!out_row.empty()) m.add_constraint(std::move(out_row), lp::Rel::kLe, radix);
+    if (!in_row.empty()) m.add_constraint(std::move(in_row), lp::Rel::kLe, radix);
+  }
+
+  // Per-flow routing variables and conservation.
+  const double hop_cost = obj == LpbtObjective::kHops ? 1.0 : 0.0;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      std::vector<int> f(links.size());
+      for (std::size_t e = 0; e < links.size(); ++e) {
+        f[e] = m.add_binary(hop_cost);
+        // f <= M: can only use existing links.
+        m.add_constraint({{f[e], 1.0},
+                          {out.M(links[e].first, links[e].second), -1.0}},
+                         lp::Rel::kLe, 0.0);
+      }
+      // Conservation: out - in = +1 at s, -1 at d, 0 elsewhere.
+      for (int v = 0; v < n; ++v) {
+        std::vector<lp::Term> row;
+        for (std::size_t e = 0; e < links.size(); ++e) {
+          if (links[e].first == v) row.push_back({f[e], 1.0});
+          else if (links[e].second == v) row.push_back({f[e], -1.0});
+        }
+        const double rhs = v == s ? 1.0 : (v == d ? -1.0 : 0.0);
+        m.add_constraint(std::move(row), lp::Rel::kEq, rhs);
+      }
+    }
+
+  m.set_sense(lp::Sense::kMinimize);
+  return out;
+}
+
+}  // namespace
+
+LpbtResult lpbt_synthesize(const topo::Layout& layout, topo::LinkClass cls,
+                           int radix, LpbtObjective obj,
+                           const lp::MilpOptions& opts) {
+  if (layout.n() > 10)
+    throw std::invalid_argument(
+        "lpbt_synthesize: formulation tractable only for n <= 10 with the "
+        "in-tree solver (the original needed ~20 days at n = 20)");
+  auto built = build(layout, cls, radix, obj);
+  const auto sol = lp::solve_milp(built.model, opts);
+
+  LpbtResult r;
+  r.status = sol.status;
+  r.objective = sol.objective;
+  r.nodes = sol.nodes;
+  if (!sol.x.empty()) {
+    topo::DiGraph g(built.n);
+    for (int i = 0; i < built.n; ++i)
+      for (int j = 0; j < built.n; ++j)
+        if (built.M(i, j) >= 0 && sol.x[built.M(i, j)] > 0.5) g.add_edge(i, j);
+    r.graph = g;
+  }
+  return r;
+}
+
+LpbtModelStats lpbt_model_stats(const topo::Layout& layout,
+                                topo::LinkClass cls) {
+  const int n = layout.n();
+  const int links = static_cast<int>(topo::valid_links(layout, cls).size());
+  LpbtModelStats s;
+  s.binaries = links + n * (n - 1) * links;
+  s.variables = s.binaries;
+  s.constraints = 2 * n                       // radix
+                  + n * (n - 1) * links       // f <= M
+                  + n * (n - 1) * n;          // conservation
+  return s;
+}
+
+}  // namespace netsmith::topologies

@@ -1,0 +1,45 @@
+#pragma once
+// LPBT: reimplementation of the linear-programming-based NoC synthesis of
+// Srinivasan, Chatha & Konjevod (paper's prior-art baseline [46]).
+//
+// The formulation routes every flow explicitly through per-link binary
+// variables with flow-conservation rows — the paper contrasts this with
+// NetSmith's triangle-inequality distance encoding and shows it is orders of
+// magnitude slower (20 days for a first 20-router candidate on the authors'
+// machines). We reproduce the formulation shape so the comparison is
+// faithful; it is exactly solvable here for small n and used by the
+// abl_solver bench to demonstrate the solve-time gap.
+
+#include "lp/milp.hpp"
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+
+namespace netsmith::topologies {
+
+enum class LpbtObjective {
+  kPower,  // minimize total used wire length (the power proxy)
+  kHops,   // minimize total hops (the paper's "latency" modification)
+};
+
+struct LpbtResult {
+  topo::DiGraph graph;
+  lp::SolveStatus status = lp::SolveStatus::kIterLimit;
+  double objective = 0.0;
+  long nodes = 0;
+};
+
+// Builds and solves the LPBT MILP. Feasible to optimality only for small
+// layouts (n <= ~8) with the in-tree solver.
+LpbtResult lpbt_synthesize(const topo::Layout& layout, topo::LinkClass cls,
+                           int radix, LpbtObjective obj,
+                           const lp::MilpOptions& opts = {});
+
+// Model statistics without solving (for the solver-effort comparison).
+struct LpbtModelStats {
+  int variables = 0;
+  int binaries = 0;
+  int constraints = 0;
+};
+LpbtModelStats lpbt_model_stats(const topo::Layout& layout, topo::LinkClass cls);
+
+}  // namespace netsmith::topologies

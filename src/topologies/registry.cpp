@@ -1,0 +1,98 @@
+#include "topologies/registry.hpp"
+
+#include <stdexcept>
+
+#include "topo/builders.hpp"
+#include "topologies/expert.hpp"
+
+namespace netsmith::topologies {
+
+namespace {
+
+NamedTopology make(std::string name, const topo::Layout& layout,
+                   topo::LinkClass cls, topo::DiGraph g, bool machine,
+                   bool netsmith_gen) {
+  NamedTopology t;
+  t.name = std::move(name);
+  t.layout = layout;
+  t.link_class = cls;
+  t.graph = std::move(g);
+  t.machine_generated = machine;
+  t.is_netsmith = netsmith_gen;
+  return t;
+}
+
+NamedTopology ns(const std::string& name, const topo::Layout& layout,
+                 topo::LinkClass cls) {
+  return make(name, layout, cls, frozen(name), true, true);
+}
+
+}  // namespace
+
+std::vector<NamedTopology> catalog(int routers) {
+  using topo::LinkClass;
+  std::vector<NamedTopology> cat;
+  if (routers == 20) {
+    const auto lay = topo::Layout::noi_4x5();
+    // --- Small (Table II top block).
+    cat.push_back(make("Kite-small", lay, LinkClass::kSmall, kite(20, LinkClass::kSmall), false, false));
+    cat.push_back(make("LPBT-Power", lay, LinkClass::kSmall, lpbt_power_small(20), true, false));
+    cat.push_back(make("LPBT-Hops-small", lay, LinkClass::kSmall, lpbt_hops(20, LinkClass::kSmall), true, false));
+    cat.push_back(ns("NS-LatOp-small-20", lay, LinkClass::kSmall));
+    cat.push_back(ns("NS-SCOp-small-20", lay, LinkClass::kSmall));
+    // --- Medium.
+    cat.push_back(make("FoldedTorus", lay, LinkClass::kMedium, topo::build_folded_torus(lay), false, false));
+    cat.push_back(make("Kite-medium", lay, LinkClass::kMedium, kite(20, LinkClass::kMedium), false, false));
+    cat.push_back(make("LPBT-Hops-medium", lay, LinkClass::kMedium, lpbt_hops(20, LinkClass::kMedium), true, false));
+    cat.push_back(ns("NS-LatOp-medium-20", lay, LinkClass::kMedium));
+    cat.push_back(ns("NS-SCOp-medium-20", lay, LinkClass::kMedium));
+    // --- Large.
+    cat.push_back(make("ButterDonut", lay, LinkClass::kLarge, butter_donut(20), false, false));
+    cat.push_back(make("DoubleButterfly", lay, LinkClass::kLarge, double_butterfly(20), false, false));
+    cat.push_back(make("Kite-large", lay, LinkClass::kLarge, kite(20, LinkClass::kLarge), false, false));
+    cat.push_back(ns("NS-LatOp-large-20", lay, LinkClass::kLarge));
+    cat.push_back(ns("NS-SCOp-large-20", lay, LinkClass::kLarge));
+    return cat;
+  }
+  if (routers == 30) {
+    const auto lay = topo::Layout::noi_6x5();
+    cat.push_back(make("Kite-small", lay, LinkClass::kSmall, kite(30, LinkClass::kSmall), false, false));
+    cat.push_back(ns("NS-LatOp-small-30", lay, LinkClass::kSmall));
+    cat.push_back(make("FoldedTorus", lay, LinkClass::kMedium, topo::build_folded_torus(lay), false, false));
+    cat.push_back(make("Kite-medium", lay, LinkClass::kMedium, kite(30, LinkClass::kMedium), false, false));
+    cat.push_back(ns("NS-LatOp-medium-30", lay, LinkClass::kMedium));
+    cat.push_back(make("ButterDonut", lay, LinkClass::kLarge, butter_donut(30), false, false));
+    cat.push_back(make("DoubleButterfly", lay, LinkClass::kLarge, double_butterfly(30), false, false));
+    cat.push_back(make("Kite-large", lay, LinkClass::kLarge, kite(30, LinkClass::kLarge), false, false));
+    cat.push_back(ns("NS-LatOp-large-30", lay, LinkClass::kLarge));
+    return cat;
+  }
+  throw std::invalid_argument("catalog: only 20- and 30-router sets exist");
+}
+
+std::vector<NamedTopology> catalog_48() {
+  using topo::LinkClass;
+  const auto lay = topo::Layout::noi_8x6();
+  std::vector<NamedTopology> cat;
+  // Expert baselines that scale by rule (paper SV-E: Kite-Large and LPBT do
+  // not scale; Kite-like-48 entries are short-budget symmetric searches that
+  // stand in for the missing published designs — see EXPERIMENTS.md).
+  cat.push_back(make("Mesh-48", lay, LinkClass::kSmall, topo::build_mesh(lay), false, false));
+  cat.push_back(make("Kite-like-small-48", lay, LinkClass::kSmall, frozen("Kite-like-small-48"), false, false));
+  cat.push_back(make("FoldedTorus-48", lay, LinkClass::kMedium, topo::build_folded_torus(lay), false, false));
+  cat.push_back(make("Kite-like-medium-48", lay, LinkClass::kMedium, frozen("Kite-like-medium-48"), false, false));
+  cat.push_back(make("Kite-like-large-48", lay, LinkClass::kLarge, frozen("Kite-like-large-48"), false, false));
+  cat.push_back(ns("NS-LatOp-small-48", lay, LinkClass::kSmall));
+  cat.push_back(ns("NS-LatOp-medium-48", lay, LinkClass::kMedium));
+  cat.push_back(ns("NS-LatOp-large-48", lay, LinkClass::kLarge));
+  return cat;
+}
+
+NamedTopology find(const std::vector<NamedTopology>& cat,
+                   const std::string& name) {
+  for (const auto& t : cat)
+    if (t.name == name) return t;
+  throw std::invalid_argument("registry: no topology named '" + name + "'");
+}
+
+}  // namespace netsmith::topologies

@@ -1,0 +1,42 @@
+#pragma once
+// Dense row-major matrix with bounds-checked access in debug builds.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace netsmith::util {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace netsmith::util

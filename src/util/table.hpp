@@ -1,0 +1,53 @@
+#pragma once
+// Column-aligned ASCII table printer used by every bench harness so the
+// regenerated tables/figures read like the paper's.
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace netsmith::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience: formats doubles with fixed precision.
+  static std::string fmt(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2) << s;
+      }
+      os << '\n';
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netsmith::util

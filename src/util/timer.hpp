@@ -1,0 +1,21 @@
+#pragma once
+// Wall-clock timer for solver traces and bench harnesses.
+
+#include <chrono>
+
+namespace netsmith::util {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace netsmith::util

@@ -1,0 +1,32 @@
+#pragma once
+// Maps acyclic layers onto the available virtual channels and balances flows
+// across each layer's VC group using path-length-weighted occupancy (paper
+// SIV-A: "a path traversing three links has a weight of three").
+
+#include <vector>
+
+#include "routing/table.hpp"
+#include "vc/layers.hpp"
+
+namespace netsmith::vc {
+
+struct VcMap {
+  int num_vcs = 0;
+  int num_layers = 0;
+  // Per flow f = s*n + d: virtual channel id (constant along the route,
+  // i.e. layered routing), or -1 for absent flows.
+  std::vector<int> vc;
+  // Per VC: which layer it belongs to (VC -> layer is many-to-one).
+  std::vector<int> layer_of_vc;
+  // Per VC: total path-length weight assigned (for diagnostics/tests).
+  std::vector<double> weight_of_vc;
+};
+
+// Requires num_vcs >= assignment.num_layers. VCs are apportioned to layers
+// proportionally to each layer's total weight (at least one each), then
+// flows are spread within their layer's VC group by longest-processing-time
+// scheduling on path length.
+VcMap balance_vcs(const VcAssignment& a, const routing::RoutingTable& rt,
+                  int num_vcs);
+
+}  // namespace netsmith::vc

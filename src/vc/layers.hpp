@@ -1,0 +1,33 @@
+#pragma once
+// DFSSSP-style path-to-VC-layer partitioning (paper SIV-A, following Domke
+// et al.): partition the chosen shortest paths into layers such that each
+// layer's channel dependency graph is acyclic; each layer maps to (a group
+// of) virtual channels. The paper found random back-edge selection gives
+// sufficiently few layers; we take randomized path orders over several
+// restarts and keep the best, which is the same mechanism.
+
+#include <vector>
+
+#include "routing/table.hpp"
+#include "util/rng.hpp"
+#include "vc/cdg.hpp"
+
+namespace netsmith::vc {
+
+struct VcAssignment {
+  int num_layers = 0;
+  // Per flow f = s*n + d: layer id, or -1 for absent flows (s == d).
+  std::vector<int> layer;
+};
+
+// Greedy layered assignment with rollback on cycle creation.
+VcAssignment assign_layers(const routing::RoutingTable& rt,
+                           const topo::DiGraph& g, util::Rng& rng,
+                           int restarts = 8, int max_layers = 16);
+
+// Verifies that every layer's CDG is acyclic (the deadlock-freedom
+// condition); used by tests and asserted before simulation.
+bool verify_acyclic(const VcAssignment& a, const routing::RoutingTable& rt,
+                    const topo::DiGraph& g);
+
+}  // namespace netsmith::vc

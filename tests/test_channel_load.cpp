@@ -1,0 +1,101 @@
+#include "routing/channel_load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+#include "topo/cuts.hpp"
+#include "topo/metrics.hpp"
+
+namespace netsmith::routing {
+namespace {
+
+TEST(ChannelLoad, LoadsSumToTotalHops) {
+  // Sum of (normalized loads) * (n-1) == total hops of all routes.
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto rt = RoutingTable::select_first(enumerate_shortest_paths(g));
+  const auto a = analyze_uniform(rt);
+  double sum = 0.0;
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j) sum += a.load(i, j);
+  const auto dist = topo::apsp_bfs(g);
+  EXPECT_NEAR(sum * 19.0, static_cast<double>(topo::total_hops(dist)), 1e-6);
+}
+
+TEST(ChannelLoad, FractionalSplitsEvenly) {
+  // 2x2 mesh, corner flows split over two paths: each path edge gets half.
+  const topo::Layout lay{2, 2, 2.0};
+  const auto g = topo::build_mesh(lay);
+  const auto ps = enumerate_shortest_paths(g);
+  const auto a = analyze_uniform_fractional(ps);
+  // Every directed mesh edge carries: 1 one-hop flow (w=1/3) + half of one
+  // two-hop flow's two alternatives... total symmetric load.
+  double mx = 0, mn = 1e9;
+  for (const auto& [i, j] : g.edges()) {
+    mx = std::max(mx, a.load(i, j));
+    mn = std::min(mn, a.load(i, j));
+  }
+  EXPECT_NEAR(mx, mn, 1e-12);  // perfect symmetry
+}
+
+TEST(ChannelLoad, ThroughputBoundInverseOfMaxLoad) {
+  const auto g = topo::build_mesh(topo::Layout::noi_4x5());
+  const auto rt = RoutingTable::select_first(enumerate_shortest_paths(g));
+  const auto a = analyze_uniform(rt);
+  EXPECT_GT(a.max_load, 0.0);
+  EXPECT_NEAR(a.throughput_bound(), 1.0 / a.max_load, 1e-12);
+}
+
+TEST(OccupancyBound, FormulaMatches) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const double expected =
+      g.num_directed_edges() / (topo::average_hops(g) * g.num_nodes());
+  EXPECT_NEAR(occupancy_bound(g), expected, 1e-12);
+}
+
+TEST(CutBound, FoldedTorusMatchesSparsestCut) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  EXPECT_NEAR(cut_bound(g), (1.0 / 12.0) * 19.0, 1e-9);
+}
+
+TEST(Bounds, CutNeverAboveOccupancyTimesFactorForGoodTopologies) {
+  // Sanity relation on the folded torus: both bounds positive and finite.
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  EXPECT_GT(occupancy_bound(g), 0.0);
+  EXPECT_GT(cut_bound(g), 0.0);
+}
+
+TEST(PatternLoad, SingleFlowLoadsItsPathOnly) {
+  topo::DiGraph g(4);
+  g.add_duplex(0, 1);
+  g.add_duplex(1, 2);
+  g.add_duplex(2, 3);
+  const auto rt = RoutingTable::select_first(enumerate_shortest_paths(g));
+  util::Matrix<double> w(4, 4, 0.0);
+  w(0, 3) = 2.0;
+  const auto a = analyze_pattern(rt, w);
+  // Normalization: total weight 2 over 4 nodes -> scale = 2, so the single
+  // flow carries 4 units across each of its 3 links.
+  EXPECT_NEAR(a.load(0, 1), 4.0, 1e-12);
+  EXPECT_NEAR(a.load(1, 2), 4.0, 1e-12);
+  EXPECT_NEAR(a.load(2, 3), 4.0, 1e-12);
+  EXPECT_NEAR(a.load(1, 0), 0.0, 1e-12);
+  EXPECT_EQ(a.flows, 1);
+}
+
+TEST(PatternLoad, UniformPatternMatchesAnalyzeUniform) {
+  const auto g = topo::build_mesh(topo::Layout{2, 3, 2.0});
+  const auto rt = RoutingTable::select_first(enumerate_shortest_paths(g));
+  util::Matrix<double> w(6, 6, 1.0);
+  for (int i = 0; i < 6; ++i) w(i, i) = 0.0;
+  const auto pat = analyze_pattern(rt, w);
+  const auto uni = analyze_uniform(rt);
+  // Uniform weights normalize to exactly the per-flow rate analyze_uniform
+  // uses (1/(n-1)), so the load maps must coincide.
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j)
+      EXPECT_NEAR(pat.load(i, j), uni.load(i, j), 1e-9);
+  EXPECT_NEAR(pat.max_load, uni.max_load, 1e-9);
+}
+
+}  // namespace
+}  // namespace netsmith::routing

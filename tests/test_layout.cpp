@@ -1,0 +1,112 @@
+#include "topo/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netsmith::topo {
+namespace {
+
+TEST(Layout, IdRowColRoundTrip) {
+  const auto lay = Layout::noi_4x5();
+  EXPECT_EQ(lay.n(), 20);
+  for (int r = 0; r < lay.rows; ++r)
+    for (int c = 0; c < lay.cols; ++c) {
+      const int v = lay.id(r, c);
+      EXPECT_EQ(lay.row(v), r);
+      EXPECT_EQ(lay.col(v), c);
+    }
+}
+
+TEST(Layout, StandardLayoutSizes) {
+  EXPECT_EQ(Layout::noi_4x5().n(), 20);
+  EXPECT_EQ(Layout::noi_6x5().n(), 30);
+  EXPECT_EQ(Layout::noi_8x6().n(), 48);
+}
+
+TEST(Layout, ClockSpeedsMatchPaper) {
+  EXPECT_DOUBLE_EQ(clock_ghz(LinkClass::kSmall), 3.6);
+  EXPECT_DOUBLE_EQ(clock_ghz(LinkClass::kMedium), 3.0);
+  EXPECT_DOUBLE_EQ(clock_ghz(LinkClass::kLarge), 2.7);
+}
+
+TEST(LinkClass, SmallAllowsUpTo11) {
+  const auto lay = Layout::noi_4x5();
+  const int a = lay.id(1, 1);
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(1, 2), LinkClass::kSmall));   // (1,0)
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(2, 1), LinkClass::kSmall));   // (0,1)
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(2, 2), LinkClass::kSmall));   // (1,1)
+  EXPECT_FALSE(link_allowed(lay, a, lay.id(1, 3), LinkClass::kSmall));  // (2,0)
+  EXPECT_FALSE(link_allowed(lay, a, lay.id(3, 2), LinkClass::kSmall));  // (1,2)
+}
+
+TEST(LinkClass, MediumAddsStraightTwo) {
+  const auto lay = Layout::noi_4x5();
+  const int a = lay.id(1, 1);
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(1, 3), LinkClass::kMedium));   // (2,0)
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(3, 1), LinkClass::kMedium));   // (0,2)
+  EXPECT_FALSE(link_allowed(lay, a, lay.id(3, 2), LinkClass::kMedium));  // (1,2)
+  EXPECT_FALSE(link_allowed(lay, a, lay.id(3, 3), LinkClass::kMedium));  // (2,2)
+}
+
+TEST(LinkClass, LargeAddsKnightLinks) {
+  const auto lay = Layout::noi_4x5();
+  const int a = lay.id(1, 1);
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(2, 3), LinkClass::kLarge));   // (2,1)
+  EXPECT_TRUE(link_allowed(lay, a, lay.id(3, 2), LinkClass::kLarge));   // (1,2)
+  EXPECT_FALSE(link_allowed(lay, a, lay.id(3, 3), LinkClass::kLarge));  // (2,2)
+  EXPECT_FALSE(link_allowed(lay, a, lay.id(1, 4), LinkClass::kLarge));  // (3,0)
+}
+
+TEST(LinkClass, NoSelfLinks) {
+  const auto lay = Layout::noi_4x5();
+  for (int v = 0; v < lay.n(); ++v)
+    EXPECT_FALSE(link_allowed(lay, v, v, LinkClass::kLarge));
+}
+
+TEST(LinkClass, ValidLinksAreOrderedPairsBothWays) {
+  const auto lay = Layout::noi_4x5();
+  for (const auto cls :
+       {LinkClass::kSmall, LinkClass::kMedium, LinkClass::kLarge}) {
+    const auto links = valid_links(lay, cls);
+    for (const auto& [i, j] : links) {
+      EXPECT_NE(i, j);
+      EXPECT_TRUE(link_allowed(lay, j, i, cls));  // span is symmetric
+    }
+  }
+}
+
+TEST(LinkClass, ValidLinkCountsGrowWithClass) {
+  const auto lay = Layout::noi_4x5();
+  const auto s = valid_links(lay, LinkClass::kSmall).size();
+  const auto m = valid_links(lay, LinkClass::kMedium).size();
+  const auto l = valid_links(lay, LinkClass::kLarge).size();
+  EXPECT_LT(s, m);
+  EXPECT_LT(m, l);
+  // Small 4x5: horizontal 2*(4*4)=32, vertical 2*(3*5)=30, diagonal
+  // 2*2*(3*4)=48 => 110 directed.
+  EXPECT_EQ(s, 110u);
+}
+
+TEST(LinkLength, EuclideanWithPitch) {
+  const auto lay = Layout::noi_4x5();  // pitch 2mm
+  EXPECT_DOUBLE_EQ(link_length_mm(lay, lay.id(0, 0), lay.id(0, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(link_length_mm(lay, lay.id(0, 0), lay.id(1, 0)), 2.0);
+  EXPECT_NEAR(link_length_mm(lay, lay.id(0, 0), lay.id(1, 1)),
+              2.0 * std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(link_length_mm(lay, lay.id(0, 0), lay.id(0, 2)), 4.0);
+}
+
+TEST(ClassifySpan, MatchesTaxonomy) {
+  EXPECT_EQ(classify_span(1, 0), LinkClass::kSmall);
+  EXPECT_EQ(classify_span(1, 1), LinkClass::kSmall);
+  EXPECT_EQ(classify_span(2, 0), LinkClass::kMedium);
+  EXPECT_EQ(classify_span(0, 2), LinkClass::kMedium);
+  EXPECT_EQ(classify_span(2, 1), LinkClass::kLarge);
+  EXPECT_EQ(classify_span(-2, 1), LinkClass::kLarge);
+  EXPECT_THROW(classify_span(3, 0), std::invalid_argument);
+  EXPECT_THROW(classify_span(2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsmith::topo

@@ -1,0 +1,170 @@
+#include "lp/milp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace netsmith::lp {
+namespace {
+
+TEST(Milp, Knapsack) {
+  Model m;
+  const int a = m.add_binary(60);
+  const int b = m.add_binary(100);
+  const int c = m.add_binary(120);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{a, 10}, {b, 20}, {c, 30}}, Rel::kLe, 50);
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 220.0, 1e-9);
+  EXPECT_NEAR(s.x[a], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[b], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[c], 1.0, 1e-9);
+}
+
+TEST(Milp, PureLpPassthrough) {
+  Model m;
+  const int x = m.add_continuous(0, 2, 1);
+  m.set_sense(Sense::kMaximize);
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+}
+
+TEST(Milp, IntegerRounding) {
+  // LP optimum at x = 2.5 -> integer optimum at 2.
+  Model m;
+  const int x = m.add_integer(0, 10, 1);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, 2}}, Rel::kLe, 5);
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Milp, InfeasibleIntegers) {
+  // 2x = 3 has no integer solution for x in [0, 5].
+  Model m;
+  const int x = m.add_integer(0, 5, 1);
+  m.add_constraint({{x, 2}}, Rel::kEq, 3);
+  EXPECT_EQ(solve_milp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Milp, EqualityWithBinaries) {
+  // Pick exactly two of four binaries at minimum cost.
+  Model m;
+  const double cost[4] = {5, 1, 3, 2};
+  std::vector<Term> sum;
+  std::vector<int> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(m.add_binary(cost[i]));
+    sum.push_back({v[i], 1.0});
+  }
+  m.add_constraint(std::move(sum), Rel::kEq, 2);
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);  // picks costs 1 and 2
+}
+
+TEST(Milp, BoundReportedOnOptimal) {
+  Model m;
+  const int a = m.add_binary(3);
+  const int b = m.add_binary(4);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{a, 1}, {b, 1}}, Rel::kLe, 1);
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+  EXPECT_NEAR(s.bound, 4.0, 1e-6);
+}
+
+TEST(Milp, ProgressCallbackFires) {
+  Model m;
+  std::vector<Term> row;
+  util::Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    const int v = m.add_binary(1.0 + rng.uniform());
+    row.push_back({v, 1.0 + rng.uniform() * 3});
+  }
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint(std::move(row), Rel::kLe, 10);
+  MilpOptions opts;
+  int calls = 0;
+  opts.progress = [&](double, double, double) { ++calls; };
+  const auto s = solve_milp(m, opts);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GE(calls, 1);
+}
+
+// Brute-force reference for random binary programs.
+double brute_force_max(const Model& m) {
+  const int n = m.num_vars();
+  double best = -1e18;
+  for (int bits = 0; bits < (1 << n); ++bits) {
+    std::vector<double> x(n);
+    for (int j = 0; j < n; ++j) x[j] = (bits >> j) & 1;
+    if (m.max_violation(x) > 1e-9) continue;
+    best = std::max(best, m.objective_value(x));
+  }
+  return best;
+}
+
+class RandomBinaryProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBinaryProgram, MatchesBruteForce) {
+  util::Rng rng(40 + GetParam());
+  Model m;
+  const int n = 10;
+  std::vector<int> v;
+  for (int j = 0; j < n; ++j) v.push_back(m.add_binary(rng.uniform() * 10));
+  m.set_sense(Sense::kMaximize);
+  for (int c = 0; c < 4; ++c) {
+    std::vector<Term> row;
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.6)) row.push_back({v[j], 1.0 + rng.uniform() * 4});
+    if (row.empty()) continue;
+    m.add_constraint(std::move(row), Rel::kLe, 4.0 + rng.uniform() * 8);
+  }
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, brute_force_max(m), 1e-6);
+  EXPECT_LE(m.max_violation(s.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBinaryProgram, ::testing::Range(0, 16));
+
+// Random bounded integer programs against brute force.
+class RandomIntegerProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIntegerProgram, MatchesBruteForce) {
+  util::Rng rng(140 + GetParam());
+  Model m;
+  const int n = 4;
+  std::vector<int> v;
+  for (int j = 0; j < n; ++j) v.push_back(m.add_integer(0, 3, rng.uniform() * 5));
+  m.set_sense(Sense::kMaximize);
+  std::vector<Term> row;
+  for (int j = 0; j < n; ++j) row.push_back({v[j], 1.0 + rng.uniform() * 2});
+  m.add_constraint(std::move(row), Rel::kLe, 6.0);
+
+  double best = -1e18;
+  for (int a = 0; a <= 3; ++a)
+    for (int b = 0; b <= 3; ++b)
+      for (int c = 0; c <= 3; ++c)
+        for (int d = 0; d <= 3; ++d) {
+          std::vector<double> x{double(a), double(b), double(c), double(d)};
+          if (m.max_violation(x) > 1e-9) continue;
+          best = std::max(best, m.objective_value(x));
+        }
+
+  const auto s = solve_milp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIntegerProgram, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace netsmith::lp

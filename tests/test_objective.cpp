@@ -1,0 +1,50 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netsmith::core {
+namespace {
+
+TEST(UniformPattern, AllToAllExceptSelf) {
+  const auto w = uniform_pattern(5);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j)
+      EXPECT_DOUBLE_EQ(w(i, j), i == j ? 0.0 : 1.0);
+}
+
+TEST(ShuffleDest, MatchesPaperFormula) {
+  // dest = 2*src for src < n/2; (2*src + 1) mod n otherwise (paper SV-E).
+  const int n = 20;
+  EXPECT_EQ(shuffle_dest(0, n), 0);
+  EXPECT_EQ(shuffle_dest(1, n), 2);
+  EXPECT_EQ(shuffle_dest(9, n), 18);
+  EXPECT_EQ(shuffle_dest(10, n), 1);
+  EXPECT_EQ(shuffle_dest(19, n), 19);
+}
+
+TEST(ShufflePattern, OneDestinationPerSource) {
+  const int n = 20;
+  const auto w = shuffle_pattern(n);
+  for (int s = 0; s < n; ++s) {
+    int dests = 0;
+    for (int d = 0; d < n; ++d)
+      if (w(s, d) > 0) ++dests;
+    // Sources mapping to themselves (0 and n-1) have no flow.
+    const int expected = shuffle_dest(s, n) == s ? 0 : 1;
+    EXPECT_EQ(dests, expected) << "src " << s;
+  }
+}
+
+TEST(ShufflePattern, IsBitShufflePermutationish) {
+  // All flows land on distinct destinations (except the fixed points).
+  const int n = 20;
+  const auto w = shuffle_pattern(n);
+  std::vector<int> indeg(n, 0);
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d)
+      if (w(s, d) > 0) ++indeg[d];
+  for (int d = 0; d < n; ++d) EXPECT_LE(indeg[d], 2);
+}
+
+}  // namespace
+}  // namespace netsmith::core

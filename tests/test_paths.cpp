@@ -1,0 +1,104 @@
+#include "routing/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builders.hpp"
+#include "topo/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::routing {
+namespace {
+
+TEST(PathEnum, LineGraphSinglePaths) {
+  topo::DiGraph g(3);
+  g.add_duplex(0, 1);
+  g.add_duplex(1, 2);
+  const auto ps = enumerate_shortest_paths(g);
+  EXPECT_TRUE(ps.all_flows_covered());
+  ASSERT_EQ(ps.at(0, 2).size(), 1u);
+  EXPECT_EQ(ps.at(0, 2)[0], (Path{0, 1, 2}));
+  EXPECT_EQ(ps.at(2, 0)[0], (Path{2, 1, 0}));
+}
+
+TEST(PathEnum, CountsAllShortestPathsInGrid) {
+  // 2x2 mesh: two shortest paths between opposite corners.
+  const topo::Layout lay{2, 2, 2.0};
+  const auto g = topo::build_mesh(lay);
+  const auto ps = enumerate_shortest_paths(g);
+  EXPECT_EQ(ps.at(lay.id(0, 0), lay.id(1, 1)).size(), 2u);
+}
+
+TEST(PathEnum, MeshCornerToCornerCounts) {
+  // 3x3 mesh corner to corner: C(4,2) = 6 shortest paths.
+  const topo::Layout lay{3, 3, 2.0};
+  const auto g = topo::build_mesh(lay);
+  const auto ps = enumerate_shortest_paths(g);
+  EXPECT_EQ(ps.at(lay.id(0, 0), lay.id(2, 2)).size(), 6u);
+}
+
+TEST(PathEnum, CapLimitsEnumeration) {
+  const topo::Layout lay{3, 3, 2.0};
+  const auto g = topo::build_mesh(lay);
+  const auto ps = enumerate_shortest_paths(g, 3);
+  EXPECT_EQ(ps.at(lay.id(0, 0), lay.id(2, 2)).size(), 3u);
+}
+
+TEST(PathEnum, PathsAreUniqueAndShortest) {
+  util::Rng rng(17);
+  const topo::Layout lay = topo::Layout::noi_4x5();
+  const auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+  const auto dist = topo::apsp_bfs(g);
+  const auto ps = enumerate_shortest_paths(g);
+  for (int s = 0; s < 20; ++s)
+    for (int d = 0; d < 20; ++d) {
+      if (s == d) continue;
+      std::set<Path> seen;
+      for (const auto& p : ps.at(s, d)) {
+        EXPECT_TRUE(is_shortest_path(g, dist, p));
+        EXPECT_EQ(p.front(), s);
+        EXPECT_EQ(p.back(), d);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate path";
+      }
+    }
+}
+
+TEST(PathEnum, DisconnectedFlowHasNoPaths) {
+  topo::DiGraph g(4);
+  g.add_duplex(0, 1);
+  g.add_duplex(2, 3);
+  const auto ps = enumerate_shortest_paths(g);
+  EXPECT_FALSE(ps.all_flows_covered());
+  EXPECT_TRUE(ps.at(0, 3).empty());
+  EXPECT_FALSE(ps.at(0, 1).empty());
+}
+
+TEST(PathEnum, DeterministicOrder) {
+  const auto g = topo::build_mesh(topo::Layout{3, 3, 2.0});
+  const auto a = enumerate_shortest_paths(g);
+  const auto b = enumerate_shortest_paths(g);
+  for (int s = 0; s < 9; ++s)
+    for (int d = 0; d < 9; ++d)
+      if (s != d) EXPECT_EQ(a.at(s, d), b.at(s, d));
+}
+
+TEST(IsShortestPath, RejectsNonPathsAndNonMinimal) {
+  const auto g = topo::build_mesh(topo::Layout{1, 4, 2.0});
+  const auto dist = topo::apsp_bfs(g);
+  EXPECT_TRUE(is_shortest_path(g, dist, {0, 1, 2}));
+  EXPECT_FALSE(is_shortest_path(g, dist, {0, 2}));        // no such edge
+  EXPECT_FALSE(is_shortest_path(g, dist, {0, 1, 0, 1}));  // not minimal
+  EXPECT_FALSE(is_shortest_path(g, dist, {0}));           // too short
+}
+
+TEST(PathSet, TotalPathsAggregates) {
+  topo::DiGraph g(3);
+  g.add_duplex(0, 1);
+  g.add_duplex(1, 2);
+  const auto ps = enumerate_shortest_paths(g);
+  EXPECT_EQ(ps.total_paths(), 6u);  // 6 ordered pairs, 1 path each
+}
+
+}  // namespace
+}  // namespace netsmith::routing

@@ -1,0 +1,112 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/traffic.hpp"
+
+namespace netsmith::core {
+namespace {
+
+int single_dest(const util::Matrix<double>& w, int s) {
+  int dest = -1;
+  for (std::size_t d = 0; d < w.cols(); ++d)
+    if (w(s, d) > 0) {
+      EXPECT_EQ(dest, -1) << "multiple destinations for " << s;
+      dest = static_cast<int>(d);
+    }
+  return dest;
+}
+
+TEST(BitComplement, MirrorsIndex) {
+  const auto w = bit_complement_pattern(20);
+  EXPECT_EQ(single_dest(w, 0), 19);
+  EXPECT_EQ(single_dest(w, 7), 12);
+  EXPECT_EQ(single_dest(w, 19), 0);
+}
+
+TEST(BitComplement, IsInvolution) {
+  const int n = 16;
+  const auto w = bit_complement_pattern(n);
+  for (int s = 0; s < n; ++s) {
+    const int d = single_dest(w, s);
+    if (d >= 0) EXPECT_EQ(single_dest(w, d), s);
+  }
+}
+
+TEST(BitReverse, PowerOfTwoIsPermutation) {
+  const int n = 16;
+  const auto w = bit_reverse_pattern(n);
+  std::vector<int> indeg(n, 0);
+  for (int s = 0; s < n; ++s) {
+    const int d = single_dest(w, s);
+    if (d >= 0) ++indeg[d];
+  }
+  for (int d = 0; d < n; ++d) EXPECT_LE(indeg[d], 1);
+  // 0b0001 -> 0b1000.
+  EXPECT_EQ(bit_reverse_dest(1, 16), 8);
+  EXPECT_EQ(bit_reverse_dest(3, 16), 12);
+}
+
+TEST(BitReverse, NonPowerOfTwoStaysInRange) {
+  const int n = 20;
+  for (int s = 0; s < n; ++s) {
+    const int d = bit_reverse_dest(s, n);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, n);
+  }
+}
+
+TEST(Tornado, HalfwayShift) {
+  const int n = 20;
+  const auto w = tornado_pattern(n);
+  EXPECT_EQ(single_dest(w, 0), 9);   // ceil(20/2) - 1 = 9
+  EXPECT_EQ(single_dest(w, 15), 4);  // wraps
+}
+
+TEST(Neighbor, RingShift) {
+  const int n = 20;
+  const auto w = neighbor_pattern(n);
+  for (int s = 0; s < n; ++s) EXPECT_EQ(single_dest(w, s), (s + 1) % n);
+}
+
+TEST(Transpose, SwapsGridCoordinates) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto w = transpose_pattern(lay);
+  // (1, 2) -> (2, 1).
+  EXPECT_EQ(single_dest(w, lay.id(1, 2)), lay.id(2, 1));
+  // Diagonal nodes map to themselves: no flow.
+  EXPECT_EQ(single_dest(w, lay.id(0, 0)), -1);
+  EXPECT_EQ(single_dest(w, lay.id(3, 3)), -1);
+}
+
+TEST(Transpose, ClampsOutOfRange) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto w = transpose_pattern(lay);
+  // Column 4 transposes to "row 4", clamped to row 3.
+  const int s = lay.id(0, 4);
+  EXPECT_EQ(single_dest(w, s), lay.id(3, 0));
+}
+
+TEST(TrafficFromPattern, WiresCustomConfig) {
+  const int n = 20;
+  const auto t = sim::traffic_from_pattern(tornado_pattern(n), 0.02);
+  EXPECT_EQ(t.kind, sim::TrafficKind::kCustom);
+  EXPECT_DOUBLE_EQ(t.injection_rate, 0.02);
+  EXPECT_EQ(t.custom.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(t.sources.size(), static_cast<std::size_t>(n));  // tornado: all inject
+  for (int s = 0; s < n; ++s) {
+    ASSERT_EQ(t.custom[s].size(), 1u);
+    EXPECT_EQ(t.custom[s][0].first, (s + 9) % n);
+  }
+}
+
+TEST(TrafficFromPattern, IdleNodesExcluded) {
+  util::Matrix<double> w(4, 4, 0.0);
+  w(0, 1) = 2.0;
+  const auto t = sim::traffic_from_pattern(w, 0.1);
+  EXPECT_EQ(t.sources, (std::vector<int>{0}));
+  EXPECT_TRUE(t.custom[1].empty());
+}
+
+}  // namespace
+}  // namespace netsmith::core

@@ -1,0 +1,74 @@
+#include "power/dsent_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace netsmith::power {
+namespace {
+
+const topo::Layout kLay = topo::Layout::noi_4x5();
+
+TEST(DsentLite, MeshBaselinePositive) {
+  const auto pa = estimate(topo::build_mesh(kLay), kLay, 3.6, 0.1, 6);
+  EXPECT_GT(pa.dynamic_mw, 0.0);
+  EXPECT_GT(pa.leakage_mw, 0.0);
+  EXPECT_GT(pa.router_area_mm2, 0.0);
+  EXPECT_GT(pa.wire_area_mm2, 0.0);
+}
+
+TEST(DsentLite, LeakageComparableToDynamic) {
+  // Paper SV-D: "the leakage is comparable to the dynamic power".
+  const auto pa = estimate(topo::build_folded_torus(kLay), kLay, 3.0, 0.1, 6);
+  EXPECT_GT(pa.leakage_mw / pa.dynamic_mw, 0.2);
+  EXPECT_LT(pa.leakage_mw / pa.dynamic_mw, 5.0);
+}
+
+TEST(DsentLite, WireAreaDominatesRouterArea) {
+  // Paper Fig. 9: "The total wire area is the dominant fraction".
+  const auto pa = estimate(topo::build_folded_torus(kLay), kLay, 3.0, 0.1, 6);
+  EXPECT_GT(pa.wire_area_mm2, pa.router_area_mm2);
+}
+
+TEST(DsentLite, DynamicScalesWithClock) {
+  const auto g = topo::build_folded_torus(kLay);
+  const auto fast = estimate(g, kLay, 3.6, 0.1, 6);
+  const auto slow = estimate(g, kLay, 2.7, 0.1, 6);
+  EXPECT_NEAR(fast.dynamic_mw / slow.dynamic_mw, 3.6 / 2.7, 1e-9);
+  // Leakage is clock independent.
+  EXPECT_NEAR(fast.leakage_mw, slow.leakage_mw, 1e-9);
+}
+
+TEST(DsentLite, DynamicScalesWithActivity) {
+  const auto g = topo::build_folded_torus(kLay);
+  const auto lo = estimate(g, kLay, 3.0, 0.05, 6);
+  const auto hi = estimate(g, kLay, 3.0, 0.10, 6);
+  EXPECT_NEAR(hi.dynamic_mw / lo.dynamic_mw, 2.0, 1e-9);
+}
+
+TEST(DsentLite, MoreWiresMoreLeakageAndArea) {
+  const auto mesh = estimate(topo::build_mesh(kLay), kLay, 3.0, 0.1, 6);
+  const auto torus = estimate(topo::build_folded_torus(kLay), kLay, 3.0, 0.1, 6);
+  EXPECT_GT(torus.wire_area_mm2, mesh.wire_area_mm2);
+  EXPECT_GT(torus.leakage_mw, mesh.leakage_mw);
+}
+
+TEST(DsentLite, MoreVcsMoreLeakage) {
+  const auto g = topo::build_mesh(kLay);
+  const auto v4 = estimate(g, kLay, 3.0, 0.1, 4);
+  const auto v10 = estimate(g, kLay, 3.0, 0.1, 10);
+  EXPECT_GT(v10.leakage_mw, v4.leakage_mw);
+}
+
+TEST(DsentLite, NoiStaysMinimallyActive) {
+  // Paper SV-D: NetSmith NoIs occupy < 3% of interposer area. Interposer
+  // for a 4x5 layout at 2mm pitch is roughly (5*2)x(4*2) = 80 mm^2 per
+  // quadrant scale; use the full 8x10mm = 80mm^2 x4 = 320 mm2 estimate.
+  const auto pa = estimate(topo::build_folded_torus(kLay), kLay, 3.0, 0.1, 6);
+  const double interposer_mm2 = (kLay.cols * kLay.pitch_mm + 2) *
+                                (kLay.rows * kLay.pitch_mm + 2) * 4.0;
+  EXPECT_LT(pa.router_area_mm2 / interposer_mm2, 0.03);
+}
+
+}  // namespace
+}  // namespace netsmith::power

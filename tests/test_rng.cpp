@@ -1,0 +1,132 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace netsmith::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(4);
+  double sum = 0.0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(10);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(11);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  r.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng r(12);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  r.shuffle(v);
+  int fixed = 0;
+  for (int i = 0; i < 100; ++i) fixed += v[i] == i;
+  EXPECT_LT(fixed, 15);
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng r(13);
+  const std::vector<int> v{2, 4, 6};
+  for (int i = 0; i < 100; ++i) {
+    const int p = r.pick(v);
+    EXPECT_TRUE(p == 2 || p == 4 || p == 6);
+  }
+}
+
+class RngRangeTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RngRangeTest, BoundedSamplingStaysInRange) {
+  const std::int64_t hi = GetParam();
+  Rng r(100 + static_cast<std::uint64_t>(hi));
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, hi);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, RngRangeTest,
+                         ::testing::Values(1, 2, 3, 7, 10, 63, 64, 1000,
+                                           1000000));
+
+}  // namespace
+}  // namespace netsmith::util

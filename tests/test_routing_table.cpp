@@ -1,0 +1,81 @@
+#include "routing/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace netsmith::routing {
+namespace {
+
+TEST(RoutingTable, SelectFirstIsConsistentAndMinimal) {
+  const auto g = topo::build_mesh(topo::Layout::noi_4x5());
+  const auto ps = enumerate_shortest_paths(g);
+  const auto rt = RoutingTable::select_first(ps);
+  EXPECT_TRUE(rt.consistent_with(g));
+  EXPECT_TRUE(rt.is_minimal(g));
+}
+
+TEST(RoutingTable, SelectRandomIsConsistentAndMinimal) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto ps = enumerate_shortest_paths(g);
+  util::Rng rng(9);
+  const auto rt = RoutingTable::select_random(ps, rng);
+  EXPECT_TRUE(rt.consistent_with(g));
+  EXPECT_TRUE(rt.is_minimal(g));
+}
+
+TEST(RoutingTable, NextHopFollowsPath) {
+  topo::DiGraph g(4);
+  g.add_duplex(0, 1);
+  g.add_duplex(1, 2);
+  g.add_duplex(2, 3);
+  const auto rt = RoutingTable::select_first(enumerate_shortest_paths(g));
+  EXPECT_EQ(rt.next_hop(0, 0, 3), 1);
+  EXPECT_EQ(rt.next_hop(1, 0, 3), 2);
+  EXPECT_EQ(rt.next_hop(2, 0, 3), 3);
+  EXPECT_EQ(rt.next_hop(3, 0, 3), -1);  // arrived
+  EXPECT_EQ(rt.next_hop(2, 0, 1), -1);  // not on route
+}
+
+TEST(RoutingTable, FromChoicePicksRequestedPath) {
+  const topo::Layout lay{2, 2, 2.0};
+  const auto g = topo::build_mesh(lay);
+  const auto ps = enumerate_shortest_paths(g);
+  const int s = lay.id(0, 0), d = lay.id(1, 1);
+  ASSERT_EQ(ps.at(s, d).size(), 2u);
+  std::vector<int> choice(16, 0);
+  choice[s * 4 + d] = 1;
+  const auto rt = RoutingTable::from_choice(ps, choice);
+  EXPECT_EQ(rt.path(s, d), ps.at(s, d)[1]);
+}
+
+TEST(RoutingTable, InconsistentWhenEdgeMissing) {
+  topo::DiGraph g(3);
+  g.add_duplex(0, 1);
+  g.add_duplex(1, 2);
+  auto rt = RoutingTable(3);
+  rt.path(0, 2) = {0, 2};  // no such edge
+  rt.path(2, 0) = {2, 1, 0};
+  rt.path(0, 1) = {0, 1};
+  rt.path(1, 0) = {1, 0};
+  rt.path(1, 2) = {1, 2};
+  rt.path(2, 1) = {2, 1};
+  EXPECT_FALSE(rt.consistent_with(g));
+}
+
+TEST(RoutingTable, NonMinimalDetected) {
+  topo::DiGraph g(3);
+  g.add_duplex(0, 1);
+  g.add_duplex(1, 2);
+  g.add_duplex(0, 2);
+  auto rt = RoutingTable(3);
+  for (int s = 0; s < 3; ++s)
+    for (int d = 0; d < 3; ++d)
+      if (s != d) rt.path(s, d) = {s, d};
+  rt.path(0, 2) = {0, 1, 2};  // valid but detour
+  EXPECT_TRUE(rt.consistent_with(g));
+  EXPECT_FALSE(rt.is_minimal(g));
+}
+
+}  // namespace
+}  // namespace netsmith::routing

@@ -1,0 +1,168 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace netsmith::lp {
+namespace {
+
+TEST(Simplex, BasicMaximization) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 3);
+  const int y = m.add_continuous(0, kInf, 2);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kLe, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, Rel::kLe, 6);
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-9);
+}
+
+TEST(Simplex, BasicMinimization) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 2);
+  const int y = m.add_continuous(0, kInf, 3);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kGe, 10);
+  m.add_constraint({{x, 1}}, Rel::kLe, 6);
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2 * 6 + 3 * 4, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 1);
+  const int y = m.add_continuous(0, kInf, 1);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kEq, 3);
+  m.add_constraint({{x, 1}}, Rel::kGe, 1);
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_continuous(0, 1, 1);
+  m.add_constraint({{x, 1}}, Rel::kGe, 2);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleSystem) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 1);
+  const int y = m.add_continuous(0, kInf, 1);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kLe, 1);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kGe, 2);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_continuous(0, kInf, 1);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, -1}}, Rel::kLe, 0);  // x >= 0, no upper limit
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, VariableBoundsOnly) {
+  Model m;
+  const int x = m.add_continuous(2, 5, 1);
+  const int y = m.add_continuous(-3, -1, 1);
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], -3.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  Model m;
+  const int x = m.add_continuous(-10, 10, -1);  // minimize -x -> x = ub
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 10.0, 1e-9);
+}
+
+TEST(Simplex, BoundFlipPath) {
+  // Optimum at an upper bound, reached via bound flip rather than pivot.
+  Model m;
+  const int x = m.add_continuous(0, 3, 5);
+  const int y = m.add_continuous(0, 4, 4);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kLe, 100);  // slack never binds
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5 * 3 + 4 * 4, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblem) {
+  // Multiple constraints meet at the optimum.
+  Model m;
+  const int x = m.add_continuous(0, kInf, 1);
+  const int y = m.add_continuous(0, kInf, 1);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, 1}}, Rel::kLe, 1);
+  m.add_constraint({{y, 1}}, Rel::kLe, 1);
+  m.add_constraint({{x, 1}, {y, 1}}, Rel::kLe, 2);
+  m.add_constraint({{x, 2}, {y, 1}}, Rel::kLe, 3);
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 supplies x 3 demands; known optimum.
+  Model m;
+  // costs: s0: [4, 6, 8], s1: [5, 7, 3]; supply 10/15, demand 8/9/8.
+  const double cost[2][3] = {{4, 6, 8}, {5, 7, 3}};
+  int v[2][3];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) v[i][j] = m.add_continuous(0, kInf, cost[i][j]);
+  const double supply[2] = {10, 15}, demand[3] = {8, 9, 8};
+  for (int i = 0; i < 2; ++i)
+    m.add_constraint({{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}}, Rel::kLe,
+                     supply[i]);
+  for (int j = 0; j < 3; ++j)
+    m.add_constraint({{v[0][j], 1}, {v[1][j], 1}}, Rel::kGe, demand[j]);
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // Optimal: s0 ships 8 to d0 (32), s0 2 + s1 7 to d1 (12+49), s1 8 to d2 (24).
+  EXPECT_NEAR(s.objective, 32 + 12 + 49 + 24, 1e-9);
+  EXPECT_LE(m.max_violation(s.x), 1e-9);
+}
+
+// Property: random feasible LPs — the returned point must satisfy all
+// constraints and bounds.
+class RandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLp, SolutionsAreFeasible) {
+  util::Rng rng(900 + GetParam());
+  Model m;
+  const int n = 6;
+  std::vector<int> vars;
+  for (int j = 0; j < n; ++j)
+    vars.push_back(m.add_continuous(0, 5, rng.uniform() * 4 - 2));
+  for (int c = 0; c < 8; ++c) {
+    std::vector<Term> row;
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.5)) row.push_back({vars[j], rng.uniform() * 2 - 0.5});
+    if (row.empty()) continue;
+    // rhs chosen so x = 1 vector is feasible for <= rows.
+    double lhs_at_one = 0.0;
+    for (const auto& t : row) lhs_at_one += t.coef;
+    m.add_constraint(std::move(row), Rel::kLe, lhs_at_one + rng.uniform() * 3);
+  }
+  const auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_LE(m.max_violation(s.x), 1e-7);
+  // Objective must be at least as good as the feasible all-ones point.
+  std::vector<double> ones(n, 1.0);
+  EXPECT_LE(s.objective, m.objective_value(ones) + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLp, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace netsmith::lp

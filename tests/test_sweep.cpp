@@ -1,0 +1,90 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/channel_load.hpp"
+#include "topo/builders.hpp"
+
+namespace netsmith::sim {
+namespace {
+
+TEST(DefaultRates, MonotoneAndBounded) {
+  const auto rates = default_rates(0.2, 10);
+  ASSERT_EQ(rates.size(), 10u);
+  for (std::size_t i = 1; i < rates.size(); ++i)
+    EXPECT_GT(rates[i], rates[i - 1]);
+  EXPECT_GT(rates.front(), 0.0);
+  EXPECT_NEAR(rates.back(), 0.2, 1e-12);
+}
+
+class SweepTest : public ::testing::Test {
+ protected:
+  static SimConfig cfg() {
+    SimConfig c;
+    c.warmup = 1500;
+    c.measure = 4000;
+    c.drain = 10000;
+    return c;
+  }
+};
+
+TEST_F(SweepTest, ZeroLoadAndSaturationPopulated) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = core::plan_network(topo::build_folded_torus(lay), lay,
+                                       core::RoutingPolicy::kMclb, 6);
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  const auto r = sweep_to_saturation(plan, t, cfg(), 3.0, /*points=*/6);
+  EXPECT_GT(r.zero_load_latency_cycles, 5.0);
+  EXPECT_NEAR(r.zero_load_latency_ns, r.zero_load_latency_cycles / 3.0, 1e-9);
+  EXPECT_GT(r.saturation_pkt_node_cycle, 0.0);
+  EXPECT_EQ(r.points.size(), 6u);
+}
+
+TEST_F(SweepTest, SaturationBelowOccupancyBound) {
+  // The measured saturation (packets/node/cycle, avg 5 flits/packet) cannot
+  // exceed the flit-level occupancy bound.
+  const auto lay = topo::Layout::noi_4x5();
+  const auto g = topo::build_folded_torus(lay);
+  const auto plan =
+      core::plan_network(g, lay, core::RoutingPolicy::kMclb, 6);
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  const auto r = sweep_to_saturation(plan, t, cfg(), 3.0, 6);
+  const double avg_flits = 1 + 0.5 * 8;  // 50/50 ctrl(1)/data(9)
+  EXPECT_LE(r.saturation_pkt_node_cycle * avg_flits,
+            routing::occupancy_bound(g) * 1.15);
+}
+
+TEST_F(SweepTest, NsUnitsConsistent) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = core::plan_network(topo::build_mesh(lay), lay,
+                                       core::RoutingPolicy::kMclb, 6);
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  const auto r = injection_sweep(plan, t, cfg(), 2.5, {0.01, 0.02});
+  for (const auto& pt : r.points) {
+    EXPECT_NEAR(pt.latency_ns, pt.stats.avg_latency_cycles / 2.5, 1e-9);
+    EXPECT_NEAR(pt.accepted_pkt_node_ns, pt.stats.accepted * 2.5, 1e-9);
+  }
+}
+
+TEST_F(SweepTest, BetterTopologyHigherSaturation) {
+  // Folded torus should saturate later than the mesh (more links, shorter
+  // routes) under identical conditions.
+  const auto lay = topo::Layout::noi_4x5();
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  const auto mesh = sweep_to_saturation(
+      core::plan_network(topo::build_mesh(lay), lay,
+                         core::RoutingPolicy::kMclb, 6),
+      t, cfg(), 3.0, 8);
+  const auto ft = sweep_to_saturation(
+      core::plan_network(topo::build_folded_torus(lay), lay,
+                         core::RoutingPolicy::kMclb, 6),
+      t, cfg(), 3.0, 8);
+  EXPECT_GT(ft.saturation_pkt_node_cycle, mesh.saturation_pkt_node_cycle);
+}
+
+}  // namespace
+}  // namespace netsmith::sim

@@ -1,0 +1,134 @@
+#include "system/chiplet.hpp"
+#include "system/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+#include "topo/metrics.hpp"
+
+namespace netsmith::system {
+namespace {
+
+ChipletSystem default_system() {
+  const auto lay = topo::Layout::noi_4x5();
+  return build_chiplet_system(topo::build_folded_torus(lay), lay);
+}
+
+TEST(Chiplet, EightyFourRouters) {
+  const auto sys = default_system();
+  // Paper SIII-D: "the 84 router, full-system configuration".
+  EXPECT_EQ(sys.graph.num_nodes(), 84);
+  EXPECT_EQ(sys.noi_n, 20);
+  EXPECT_EQ(sys.num_cores, 64);
+  EXPECT_EQ(sys.core_routers.size(), 64u);
+}
+
+TEST(Chiplet, EightMemoryControllers) {
+  const auto sys = default_system();
+  EXPECT_EQ(sys.mc_routers.size(), 8u);
+  for (int mc : sys.mc_routers) {
+    EXPECT_LT(mc, 20);  // MCs live on NoI routers
+    const int col = sys.noi_layout.col(mc);
+    EXPECT_TRUE(col == 0 || col == 4);
+  }
+}
+
+TEST(Chiplet, StronglyConnected) {
+  EXPECT_TRUE(topo::strongly_connected(default_system().graph));
+}
+
+TEST(Chiplet, CdcLinksCarryExtraDelay) {
+  const auto sys = default_system();
+  int cdc_edges = 0;
+  for (const auto& [u, v] : sys.graph.edges()) {
+    const bool crosses = (u < sys.noi_n) != (v < sys.noi_n);
+    if (crosses) {
+      EXPECT_EQ(sys.extra_delay(u, v), 2);
+      ++cdc_edges;
+    } else {
+      EXPECT_EQ(sys.extra_delay(u, v), 0);
+    }
+  }
+  EXPECT_EQ(cdc_edges, 64 * 2);  // one duplex CDC link per core
+}
+
+TEST(Chiplet, NoiCoverageMatchesPaper) {
+  // Middle three NoI columns each serve 4 cores; edge columns serve 2.
+  const auto sys = default_system();
+  std::vector<int> cores_per_noi(20, 0);
+  for (const auto& [u, v] : sys.graph.edges()) {
+    if (u >= sys.noi_n && v < sys.noi_n) ++cores_per_noi[v];
+  }
+  for (int r = 0; r < 20; ++r) {
+    const int col = sys.noi_layout.col(r);
+    EXPECT_EQ(cores_per_noi[r], (col == 0 || col == 4) ? 2 : 4) << "router " << r;
+  }
+}
+
+TEST(Chiplet, MeshEdgesStayInsideChiplets) {
+  const auto cfg = ChipletConfig{};
+  const auto sys = default_system();
+  const int core_cols = cfg.chiplet_cols * cfg.chiplets_x;
+  for (const auto& [u, v] : sys.graph.edges()) {
+    if (u < sys.noi_n || v < sys.noi_n) continue;  // only NoC-NoC links
+    const int cu = u - sys.noi_n, cv = v - sys.noi_n;
+    const int chip_u = (cu / core_cols / cfg.chiplet_rows) * cfg.chiplets_x +
+                       (cu % core_cols) / cfg.chiplet_cols;
+    const int chip_v = (cv / core_cols / cfg.chiplet_rows) * cfg.chiplets_x +
+                       (cv % core_cols) / cfg.chiplet_cols;
+    EXPECT_EQ(chip_u, chip_v) << "NoC link crosses chiplets";
+  }
+}
+
+TEST(Chiplet, RejectsMismatchedLayout) {
+  EXPECT_THROW(build_chiplet_system(topo::DiGraph(10), topo::Layout::noi_4x5()),
+               std::invalid_argument);
+}
+
+TEST(Parsec, BenchmarksOrderedByMpki) {
+  const auto& b = parsec_benchmarks();
+  ASSERT_GE(b.size(), 10u);
+  for (std::size_t i = 1; i < b.size(); ++i)
+    EXPECT_LE(b[i - 1].mpki, b[i].mpki);
+  EXPECT_EQ(b.front().name, "blackscholes");
+  EXPECT_EQ(b.back().name, "canneal");
+  // vips is excluded, as in the paper.
+  for (const auto& bench : b) EXPECT_NE(bench.name, "vips");
+}
+
+TEST(Workload, TrafficTargetsMcsOnly) {
+  const auto sys = default_system();
+  const auto t = workload_traffic(sys, parsec_benchmarks()[3], PerfModel{});
+  EXPECT_TRUE(t.custom_reply);
+  for (int c : sys.core_routers) {
+    ASSERT_EQ(t.custom[c].size(), sys.mc_routers.size());
+    for (const auto& [d, w] : t.custom[c]) {
+      EXPECT_LT(d, sys.noi_n);
+      EXPECT_GT(w, 0.0);
+    }
+  }
+  for (int r = 0; r < sys.noi_n; ++r) EXPECT_TRUE(t.custom[r].empty());
+}
+
+TEST(Workload, InjectionRateScalesWithMpki) {
+  const auto sys = default_system();
+  const PerfModel model;
+  const auto low = workload_traffic(sys, {"low", 0.5}, model);
+  const auto high = workload_traffic(sys, {"high", 5.0}, model);
+  EXPECT_NEAR(high.injection_rate / low.injection_rate, 10.0, 1e-9);
+}
+
+TEST(Workload, CpiGrowsWithLatencyAndMpki) {
+  // Pure model check (no sim): cpi = base + mpki/1000 * 2*lat / mlp.
+  const PerfModel m;
+  const Benchmark light{"light", 0.1}, heavy{"heavy", 9.0};
+  const double lat = 50.0;
+  const double cpi_light = m.cpi_base + light.mpki / 1000.0 * 2 * lat / m.mlp;
+  const double cpi_heavy = m.cpi_base + heavy.mpki / 1000.0 * 2 * lat / m.mlp;
+  EXPECT_GT(cpi_heavy, cpi_light);
+  EXPECT_NEAR(cpi_heavy - m.cpi_base, (cpi_light - m.cpi_base) * 90.0, 1e-9);
+  EXPECT_GT(cpi_light, m.cpi_base);
+}
+
+}  // namespace
+}  // namespace netsmith::system
