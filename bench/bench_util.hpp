@@ -23,9 +23,28 @@ inline sim::SimConfig default_sim() {
 
 // Routing policy the paper pairs with each topology: MCLB for machine
 // topologies (NetSmith always routes with MCLB), NDBT for expert designs.
+// The parametric baselines also route with MCLB — NDBT's x-monotonic rule
+// assumes the Kite-style grid designs and has no published analogue for
+// Dragonfly/CMesh/HammingMesh flattenings.
 inline core::RoutingPolicy paper_policy(const topologies::NamedTopology& t) {
-  return t.is_netsmith ? core::RoutingPolicy::kMclb
-                       : core::RoutingPolicy::kNdbt;
+  return t.is_netsmith || t.parametric ? core::RoutingPolicy::kMclb
+                                       : core::RoutingPolicy::kNdbt;
+}
+
+// Simulation window plus the topology's wire retiming (extra pipeline cycles
+// on links beyond the clocking class's reach — parametric baselines only).
+inline sim::SimConfig sim_for(const topologies::NamedTopology& t) {
+  auto cfg = default_sim();
+  cfg.extra_edge_delay = t.extra_edge_delay;
+  return cfg;
+}
+
+// Catalog set + parametric baselines for one router count, in that order.
+inline std::vector<topologies::NamedTopology> with_baselines(
+    std::vector<topologies::NamedTopology> cat, int routers) {
+  for (auto& t : topologies::baseline_catalog(routers))
+    cat.push_back(std::move(t));
+  return cat;
 }
 
 inline std::string class_name(topo::LinkClass c) { return topo::to_string(c); }

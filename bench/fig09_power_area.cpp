@@ -38,7 +38,7 @@ int main() {
   };
 
   row("small", "Mesh (baseline)", mesh);
-  for (const auto& t : topologies::catalog(20)) {
+  for (const auto& t : bench::with_baselines(topologies::catalog(20), 20)) {
     const auto pa = power::estimate(t.graph, t.layout,
                                     topo::clock_ghz(t.link_class), kActivity,
                                     kVcs);

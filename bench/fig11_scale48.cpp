@@ -15,19 +15,22 @@ using namespace netsmith;
 int main() {
   std::printf(
       "NetSmith reproduction — Fig. 11 (uniform random traffic, 48-router "
-      "8x6 NoIs)\n\n");
+      "NoIs)\n"
+      "Catalog rows on the 8x6 grid; parametric baselines "
+      "(Dragonfly/CMesh/HammingMesh)\nuse their own placements and ride "
+      "along after.\n\n");
 
   util::TablePrinter table({"class", "topology", "lat@0 (ns)",
                             "saturation (pkt/node/ns)"});
 
-  for (const auto& t : topologies::catalog_48()) {
+  for (const auto& t : bench::with_baselines(topologies::catalog_48(), 48)) {
     const auto plan = core::plan_network(t.graph, t.layout,
                                          bench::paper_policy(t), 6, 7,
                                          /*max_paths=*/24);
     sim::TrafficConfig traffic;
     traffic.kind = sim::TrafficKind::kCoherence;
     const auto sweep =
-        sim::sweep_to_saturation(plan, traffic, bench::default_sim(),
+        sim::sweep_to_saturation(plan, traffic, bench::sim_for(t),
                                  topo::clock_ghz(t.link_class), 8);
     table.add_row({bench::class_name(t.link_class), t.name,
                    util::TablePrinter::fmt(sweep.zero_load_latency_ns, 2),

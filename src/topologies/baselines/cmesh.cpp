@@ -1,0 +1,76 @@
+#include "topologies/baselines/cmesh.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "topologies/baselines/factoring.hpp"
+
+namespace netsmith::topologies::baselines {
+
+namespace {
+
+void check(const CMeshParams& p) {
+  if (p.rows < 2 || p.cols < 2)
+    throw std::invalid_argument("cmesh: need rows, cols >= 2");
+  if (p.express_stride < 0)
+    throw std::invalid_argument("cmesh: express_stride must be >= 0");
+  if (p.concentration < 1)
+    throw std::invalid_argument("cmesh: concentration must be >= 1");
+}
+
+}  // namespace
+
+topo::Layout cmesh_layout(const CMeshParams& p) {
+  check(p);
+  return topo::Layout{p.rows, p.cols, 2.0};
+}
+
+topo::DiGraph build_cmesh(const CMeshParams& p) {
+  check(p);
+  const auto lay = cmesh_layout(p);
+  topo::DiGraph g(lay.n());
+
+  for (int r = 0; r < p.rows; ++r)
+    for (int c = 0; c < p.cols; ++c) {
+      if (c + 1 < p.cols) g.add_duplex(lay.id(r, c), lay.id(r, c + 1));
+      if (r + 1 < p.rows) g.add_duplex(lay.id(r, c), lay.id(r + 1, c));
+    }
+
+  const int s = p.express_stride;
+  if (s >= 2) {
+    // Express channels hop `s` routers at a time along the perimeter rows
+    // and columns (CMesh-X). Chains run from both corners so the far end of
+    // a dimension not divisible by the stride still gets express coverage
+    // (when it is divisible the reverse chain duplicates and dedups away).
+    for (int r : {0, p.rows - 1}) {
+      for (int c = 0; c + s < p.cols; c += s)
+        g.add_duplex(lay.id(r, c), lay.id(r, c + s));
+      for (int c = p.cols - 1; c - s >= 0; c -= s)
+        g.add_duplex(lay.id(r, c - s), lay.id(r, c));
+    }
+    for (int c : {0, p.cols - 1}) {
+      for (int r = 0; r + s < p.rows; r += s)
+        g.add_duplex(lay.id(r, c), lay.id(r + s, c));
+      for (int r = p.rows - 1; r - s >= 0; r -= s)
+        g.add_duplex(lay.id(r - s, c), lay.id(r, c));
+    }
+  }
+  return g;
+}
+
+CMeshParams cmesh_for_routers(int routers) {
+  CMeshParams p;
+  // Match the paper's NoI grids exactly so head-to-head layouts align.
+  if (routers == 20) { p.rows = 4; p.cols = 5; return p; }
+  if (routers == 30) { p.rows = 6; p.cols = 5; return p; }
+  if (routers == 48) { p.rows = 8; p.cols = 6; return p; }
+  const int best = closest_divisor(routers, 2);
+  if (best < 0)
+    throw std::invalid_argument("cmesh: " + std::to_string(routers) +
+                                " routers has no rows*cols grid (>= 2 each)");
+  p.rows = best;
+  p.cols = routers / best;
+  return p;
+}
+
+}  // namespace netsmith::topologies::baselines

@@ -1,0 +1,34 @@
+#pragma once
+// Parametric Concentrated Mesh baseline (Balfour & Dally, ICS'06; booksim's
+// cmesh generator). At the NoI router level: a rows x cols mesh where every
+// router concentrates `concentration` chiplet endpoints, plus the CMesh-X
+// express channels — links of span `express_stride` along the perimeter rows
+// and columns that let perimeter traffic skip over intermediate routers.
+// Concentration does not change the router graph (endpoints are the NoI's
+// chiplets); it is carried in the params so traffic/power models can scale
+// per-router activity.
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+
+namespace netsmith::topologies::baselines {
+
+struct CMeshParams {
+  int rows = 4;
+  int cols = 5;
+  int concentration = 4;   // chiplet endpoints per router (metadata)
+  int express_stride = 2;  // express-channel span; 0 disables (plain mesh)
+};
+
+topo::Layout cmesh_layout(const CMeshParams& p);
+
+// Mesh + perimeter express channels; throws std::invalid_argument on
+// degenerate parameters (rows/cols < 2 or negative stride).
+topo::DiGraph build_cmesh(const CMeshParams& p);
+
+// Near-square grid for an arbitrary router count (prefers the paper's NoI
+// aspect: 20 -> 4x5, 30 -> 6x5, 48 -> 8x6); throws if routers has no
+// rows*cols factorization with both >= 2.
+CMeshParams cmesh_for_routers(int routers);
+
+}  // namespace netsmith::topologies::baselines

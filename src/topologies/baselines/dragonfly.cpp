@@ -1,0 +1,59 @@
+#include "topologies/baselines/dragonfly.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "topologies/baselines/factoring.hpp"
+
+namespace netsmith::topologies::baselines {
+
+namespace {
+
+void check(const DragonflyParams& p) {
+  if (p.group_size < 1 || p.groups < 2)
+    throw std::invalid_argument("dragonfly: need group_size >= 1, groups >= 2");
+}
+
+}  // namespace
+
+topo::Layout dragonfly_layout(const DragonflyParams& p) {
+  check(p);
+  return topo::Layout{p.group_size, p.groups, 2.0};
+}
+
+topo::DiGraph build_dragonfly(const DragonflyParams& p) {
+  check(p);
+  const auto lay = dragonfly_layout(p);
+  const int a = p.group_size, g = p.groups;
+  topo::DiGraph graph(lay.n());
+
+  // Local links: each group (column) is a clique.
+  for (int c = 0; c < g; ++c)
+    for (int r1 = 0; r1 < a; ++r1)
+      for (int r2 = r1 + 1; r2 < a; ++r2)
+        graph.add_duplex(lay.id(r1, c), lay.id(r2, c));
+
+  // Global links: one per group pair; the hosting member in each group is
+  // the peer's index (skipping self) modulo the group size, so global ports
+  // spread evenly over members.
+  for (int gi = 0; gi < g; ++gi)
+    for (int gj = gi + 1; gj < g; ++gj) {
+      const int peer_j_in_i = gj - 1;           // gj > gi, skip self
+      const int peer_i_in_j = gi;               // gi < gj
+      graph.add_duplex(lay.id(peer_j_in_i % a, gi),
+                       lay.id(peer_i_in_j % a, gj));
+    }
+  return graph;
+}
+
+DragonflyParams dragonfly_for_routers(int routers) {
+  if (routers < 4)
+    throw std::invalid_argument("dragonfly: need at least 4 routers");
+  const int best_a = closest_divisor(routers, 2);
+  if (best_a < 0)
+    throw std::invalid_argument("dragonfly: " + std::to_string(routers) +
+                                " routers has no a*g factorization (a,g >= 2)");
+  return DragonflyParams{best_a, routers / best_a};
+}
+
+}  // namespace netsmith::topologies::baselines

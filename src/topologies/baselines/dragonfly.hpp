@@ -1,0 +1,38 @@
+#pragma once
+// Parametric Dragonfly baseline (Kim et al., ISCA'08), flattened to the
+// router level for NoI comparison: `groups` groups of `group_size` routers;
+// every group is a clique, and each ordered group pair is joined by exactly
+// one global full-duplex link whose endpoints rotate round-robin over the
+// group members (the "absolute" global arrangement booksim uses). Terminals
+// (the p concentration) are the NoI's per-router chiplets and do not appear
+// in the graph.
+//
+// Physical placement: group j occupies column j of a group_size x groups
+// interposer grid, so local links are vertical wires within a column and
+// global links cross columns. Link classification / wire retiming comes from
+// baselines::classify_links.
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+
+namespace netsmith::topologies::baselines {
+
+struct DragonflyParams {
+  int group_size = 4;  // routers per group (a)
+  int groups = 5;      // number of groups (g); needs >= 2
+};
+
+// Grid with one column per group.
+topo::Layout dragonfly_layout(const DragonflyParams& p);
+
+// Builds the router-level dragonfly; throws std::invalid_argument on
+// degenerate parameters (group_size < 1 or groups < 2).
+topo::DiGraph build_dragonfly(const DragonflyParams& p);
+
+// Balanced parameters for an arbitrary router count: picks the divisor pair
+// a * g = routers with a closest to sqrt(routers) (a >= 2, g >= 2); throws if
+// routers has no such factorization (e.g. primes). 20 -> 4x5, 30 -> 5x6,
+// 48 -> 6x8.
+DragonflyParams dragonfly_for_routers(int routers);
+
+}  // namespace netsmith::topologies::baselines

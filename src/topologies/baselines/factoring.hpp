@@ -1,0 +1,22 @@
+#pragma once
+// Shared sizing helper for the *_for_routers preset functions: the baseline
+// families all pick the most "square" factorization of a router count.
+
+#include <cmath>
+#include <cstdlib>
+
+namespace netsmith::topologies::baselines {
+
+// Divisor of n closest to sqrt(n) with divisor >= min_factor and
+// n / divisor >= min_factor; -1 when no such factorization exists.
+inline int closest_divisor(int n, int min_factor) {
+  const double root = std::sqrt(static_cast<double>(n));
+  int best = -1;
+  for (int d = min_factor; d * min_factor <= n; ++d) {
+    if (n % d != 0) continue;
+    if (best < 0 || std::abs(d - root) < std::abs(best - root)) best = d;
+  }
+  return best;
+}
+
+}  // namespace netsmith::topologies::baselines

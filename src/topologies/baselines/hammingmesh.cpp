@@ -1,0 +1,71 @@
+#include "topologies/baselines/hammingmesh.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "topologies/baselines/factoring.hpp"
+
+namespace netsmith::topologies::baselines {
+
+namespace {
+
+void check(const HammingMeshParams& p) {
+  if (p.board_rows < 1 || p.board_cols < 1 || p.grid_rows < 1 ||
+      p.grid_cols < 1)
+    throw std::invalid_argument("hammingmesh: all dimensions must be >= 1");
+  if (p.grid_rows * p.grid_cols < 2)
+    throw std::invalid_argument("hammingmesh: need at least two boards");
+}
+
+}  // namespace
+
+topo::Layout hammingmesh_layout(const HammingMeshParams& p) {
+  check(p);
+  return topo::Layout{p.board_rows * p.grid_rows,
+                      p.board_cols * p.grid_cols, 2.0};
+}
+
+topo::DiGraph build_hammingmesh(const HammingMeshParams& p) {
+  check(p);
+  const auto lay = hammingmesh_layout(p);
+  const int a = p.board_rows, b = p.board_cols;
+  topo::DiGraph g(lay.n());
+
+  // Per-board 2-D meshes.
+  for (int bx = 0; bx < p.grid_rows; ++bx)
+    for (int by = 0; by < p.grid_cols; ++by)
+      for (int r = 0; r < a; ++r)
+        for (int c = 0; c < b; ++c) {
+          const int gr = bx * a + r, gc = by * b + c;
+          if (c + 1 < b) g.add_duplex(lay.id(gr, gc), lay.id(gr, gc + 1));
+          if (r + 1 < a) g.add_duplex(lay.id(gr, gc), lay.id(gr + 1, gc));
+        }
+
+  // Row networks: per global row, board-level clique across the board row.
+  for (int gr = 0; gr < lay.rows; ++gr)
+    for (int bp = 0; bp < p.grid_cols; ++bp)
+      for (int bq = bp + 1; bq < p.grid_cols; ++bq)
+        g.add_duplex(lay.id(gr, bp * b + (b - 1)), lay.id(gr, bq * b));
+
+  // Column networks: per global column, board-level clique down the column.
+  for (int gc = 0; gc < lay.cols; ++gc)
+    for (int bp = 0; bp < p.grid_rows; ++bp)
+      for (int bq = bp + 1; bq < p.grid_rows; ++bq)
+        g.add_duplex(lay.id(bp * a + (a - 1), gc), lay.id(bq * a, gc));
+
+  return g;
+}
+
+HammingMeshParams hammingmesh_for_routers(int routers) {
+  if (routers == 20) return HammingMeshParams{2, 2, 5, 1};
+  if (routers == 30) return HammingMeshParams{2, 5, 3, 1};
+  if (routers == 48) return HammingMeshParams{2, 2, 4, 3};
+  if (routers < 8 || routers % 4 != 0)
+    throw std::invalid_argument("hammingmesh: no standard configuration for " +
+                                std::to_string(routers) + " routers");
+  const int boards = routers / 4;
+  const int best = closest_divisor(boards, 1);
+  return HammingMeshParams{2, 2, best, boards / best};
+}
+
+}  // namespace netsmith::topologies::baselines

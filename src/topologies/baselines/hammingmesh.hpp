@@ -1,0 +1,39 @@
+#pragma once
+// Parametric HammingMesh baseline (Hoefler et al., SC'22), flattened to the
+// router level for NoI comparison. The system is a grid_rows x grid_cols
+// array of boards, each board a board_rows x board_cols 2-D mesh. In the
+// original design every row of boards is stitched by per-row "Hamming"
+// networks (and columns likewise) giving single-hop board-to-board reach;
+// flattened here, for every global router row the boards sharing that row
+// form a clique at board granularity: each board pair (p < q) adds a link
+// from p's rightmost router in the row to q's leftmost (columns symmetric,
+// bottom row to top row). Adjacent-board links coincide with mesh seams;
+// non-adjacent pairs become the long "flyover" wires that classify_links
+// turns into pipelined interposer wires.
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+
+namespace netsmith::topologies::baselines {
+
+struct HammingMeshParams {
+  int board_rows = 2;  // a: router rows per board
+  int board_cols = 2;  // b: router columns per board
+  int grid_rows = 2;   // x: board rows in the system
+  int grid_cols = 2;   // y: board columns in the system
+};
+
+// (board_rows * grid_rows) x (board_cols * grid_cols) router grid.
+topo::Layout hammingmesh_layout(const HammingMeshParams& p);
+
+// Builds the flattened HammingMesh; throws std::invalid_argument on
+// degenerate parameters (any dimension < 1 or a 1x1 board grid).
+topo::DiGraph build_hammingmesh(const HammingMeshParams& p);
+
+// Standard configurations for the paper's router counts (20 -> Hx(2,2;5,1),
+// 30 -> Hx(2,5;3,1), 48 -> Hx(2,2;4,3)); for other counts, 2x2 boards on the
+// most square board grid with grid_rows*grid_cols = routers/4. Throws when no
+// such configuration exists.
+HammingMeshParams hammingmesh_for_routers(int routers);
+
+}  // namespace netsmith::topologies::baselines

@@ -1,0 +1,53 @@
+#include "topologies/baselines/physical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netsmith::topologies::baselines {
+
+namespace {
+
+// Grid reach of the large class: the (2,1) knight link, sqrt(5) pitch units.
+// Wires no longer than this run in the base link_delay at the class clock;
+// longer wires are segmented into ceil(len/reach) pipeline stages.
+constexpr double kLargeReachUnits = 2.2360679774997896;
+
+}  // namespace
+
+LinkPhysics classify_links(const topo::DiGraph& g, const topo::Layout& layout) {
+  LinkPhysics phys;
+  const int n = g.num_nodes();
+  bool small = true, medium = true, large = true;
+  bool any_extra = false;
+  util::Matrix<int> extra(n, n, 0);
+
+  for (const auto& [i, j] : g.edges()) {
+    const bool in_small = topo::link_allowed(layout, i, j, topo::LinkClass::kSmall);
+    const bool in_medium = topo::link_allowed(layout, i, j, topo::LinkClass::kMedium);
+    const bool in_large = topo::link_allowed(layout, i, j, topo::LinkClass::kLarge);
+    small &= in_small;
+    medium &= in_medium;
+    large &= in_large;
+
+    phys.max_length_mm =
+        std::max(phys.max_length_mm, topo::link_length_mm(layout, i, j));
+    if (!in_large) {
+      const double len_units =
+          topo::link_length_mm(layout, i, j) / layout.pitch_mm;
+      const int stages =
+          static_cast<int>(std::ceil(len_units / kLargeReachUnits));
+      extra(i, j) = std::max(0, stages - 1);
+      ++phys.pipelined_edges;
+      any_extra = true;
+    }
+  }
+
+  phys.link_class = small    ? topo::LinkClass::kSmall
+                    : medium ? topo::LinkClass::kMedium
+                             : topo::LinkClass::kLarge;
+  (void)large;  // beyond-large edges are clamped to kLarge + extra stages
+  if (any_extra) phys.extra_edge_delay = std::move(extra);
+  return phys;
+}
+
+}  // namespace netsmith::topologies::baselines

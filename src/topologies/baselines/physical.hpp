@@ -1,0 +1,34 @@
+#pragma once
+// Physical link classification for parametric baseline topologies.
+//
+// The expert / NetSmith catalog obeys the Kite link taxonomy by construction
+// (spans up to (2,1), paper Fig. 3), so its clocking class is an input. The
+// parametric baseline families (Dragonfly, CMesh, HammingMesh) are defined by
+// their published connectivity rules and may place wires of any length on the
+// interposer grid. This module derives the physical story from the generated
+// graph + layout: the smallest Kite class that admits every link, clamped to
+// "large" when links exceed the taxonomy, plus per-edge pipeline stages for
+// the overlength wires (repeated interposer wires retimed every large-class
+// reach, i.e. sqrt(5) grid units). The class feeds the clocking model
+// (topo::clock_ghz) and the extra stages feed SimConfig::extra_edge_delay;
+// power::dsent_lite reads wire lengths straight from the layout either way.
+
+#include "topo/graph.hpp"
+#include "topo/layout.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::topologies::baselines {
+
+struct LinkPhysics {
+  topo::LinkClass link_class = topo::LinkClass::kSmall;  // clocking class
+  // Extra pipeline cycles per directed edge for wires beyond the class reach
+  // (n x n, zero where none). Empty when no edge needs retiming.
+  util::Matrix<int> extra_edge_delay;
+  double max_length_mm = 0.0;
+  int pipelined_edges = 0;  // directed edges with >= 1 extra cycle
+};
+
+// Classifies every edge of g against the layout's grid spans.
+LinkPhysics classify_links(const topo::DiGraph& g, const topo::Layout& layout);
+
+}  // namespace netsmith::topologies::baselines

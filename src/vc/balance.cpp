@@ -93,4 +93,13 @@ VcMap balance_vcs(const VcAssignment& a, const routing::RoutingTable& rt,
   return map;
 }
 
+VcAssignment layer_assignment(const VcMap& m) {
+  VcAssignment a;
+  a.num_layers = m.num_layers;
+  a.layer.resize(m.vc.size(), -1);
+  for (std::size_t f = 0; f < m.vc.size(); ++f)
+    if (m.vc[f] >= 0) a.layer[f] = m.layer_of_vc[m.vc[f]];
+  return a;
+}
+
 }  // namespace netsmith::vc

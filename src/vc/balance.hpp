@@ -29,4 +29,9 @@ struct VcMap {
 VcMap balance_vcs(const VcAssignment& a, const routing::RoutingTable& rt,
                   int num_vcs);
 
+// Recovers the per-flow layer assignment a VcMap was balanced from (flow ->
+// layer of its VC), so callers holding only a planned network can re-verify
+// deadlock freedom via vc::verify_acyclic.
+VcAssignment layer_assignment(const VcMap& m);
+
 }  // namespace netsmith::vc
