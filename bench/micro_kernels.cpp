@@ -16,6 +16,8 @@ using namespace netsmith;
 
 namespace {
 
+// Word-parallel (bitset frontier) APSP vs. the scalar queue-based kernel,
+// head-to-head on the same graphs. {6, 8} is the n = 48 paper scale.
 void BM_ApspBfs(benchmark::State& state) {
   const auto lay = topo::Layout{static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)), 2.0};
@@ -26,7 +28,19 @@ void BM_ApspBfs(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * lay.n());
 }
-BENCHMARK(BM_ApspBfs)->Args({4, 5})->Args({6, 5})->Args({8, 6});
+BENCHMARK(BM_ApspBfs)->Args({4, 5})->Args({6, 5})->Args({6, 8})->Args({8, 6});
+
+void BM_ApspBfsScalar(benchmark::State& state) {
+  const auto lay = topo::Layout{static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)), 2.0};
+  util::Rng rng(1);
+  const auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::apsp_bfs_scalar(g));
+  }
+  state.SetItemsProcessed(state.iterations() * lay.n());
+}
+BENCHMARK(BM_ApspBfsScalar)->Args({4, 5})->Args({6, 5})->Args({6, 8})->Args({8, 6});
 
 void BM_SparsestCutExact(benchmark::State& state) {
   const auto lay = topo::Layout{4, static_cast<int>(state.range(0)), 2.0};

@@ -1,0 +1,191 @@
+// Performance trajectory harness: times the synthesis-loop hot paths
+// (annealer move throughput, word-parallel vs scalar APSP, sparsest-cut
+// refresh, simulator cycle throughput) and writes BENCH_perf.json so
+// successive PRs can track the numbers.
+//
+// Usage: perf_report [--smoke] [--out PATH] [--min-apsp-speedup X]
+//   --smoke              short budgets (CI-friendly, ~10 s total)
+//   --out PATH           output JSON path (default: BENCH_perf.json in cwd)
+//   --min-apsp-speedup X exit non-zero if bitset/scalar APSP speedup < X,
+//                        so CI fails loudly on kernel regressions
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/netsmith.hpp"
+#include "sim/network.hpp"
+#include "topo/builders.hpp"
+#include "topo/cuts.hpp"
+#include "topo/metrics.hpp"
+#include "util/timer.hpp"
+
+using namespace netsmith;
+
+namespace {
+
+// Runs fn repeatedly until budget_s elapsed (at least once); returns
+// nanoseconds per call.
+template <class Fn>
+double time_ns_per_op(double budget_s, Fn&& fn) {
+  util::WallTimer timer;
+  long iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (timer.seconds() < budget_s);
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+struct Report {
+  bool smoke = false;
+  double anneal_moves_per_sec = 0.0;
+  double anneal_accept_rate = 0.0;
+  double apsp48_bitset_ns = 0.0;
+  double apsp48_scalar_ns = 0.0;
+  double apsp48_speedup = 0.0;
+  double cut_exact20_ms = 0.0;
+  double cut_heuristic48_ms = 0.0;
+  double sim_cycles_per_sec = 0.0;
+};
+
+void write_json(const Report& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_report: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", r.smoke ? "true" : "false");
+  std::fprintf(f, "  \"anneal\": {\n");
+  std::fprintf(f, "    \"moves_per_sec\": %.1f,\n", r.anneal_moves_per_sec);
+  std::fprintf(f, "    \"accept_rate\": %.4f\n", r.anneal_accept_rate);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"apsp_n48\": {\n");
+  std::fprintf(f, "    \"bitset_ns_per_op\": %.1f,\n", r.apsp48_bitset_ns);
+  std::fprintf(f, "    \"scalar_ns_per_op\": %.1f,\n", r.apsp48_scalar_ns);
+  std::fprintf(f, "    \"speedup\": %.2f\n", r.apsp48_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cut\": {\n");
+  std::fprintf(f, "    \"exact_n20_ms\": %.3f,\n", r.cut_exact20_ms);
+  std::fprintf(f, "    \"heuristic_n48_ms\": %.3f\n", r.cut_heuristic48_ms);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sim\": {\n");
+  std::fprintf(f, "    \"cycles_per_sec\": %.1f\n", r.sim_cycles_per_sec);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Report rep;
+  std::string out = "BENCH_perf.json";
+  double min_apsp_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) rep.smoke = true;
+    else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out = argv[++i];
+    else if (!std::strcmp(argv[i], "--min-apsp-speedup") && i + 1 < argc)
+      min_apsp_speedup = std::atof(argv[++i]);
+    else {
+      std::fprintf(stderr, "usage: perf_report [--smoke] [--out PATH] "
+                           "[--min-apsp-speedup X]\n");
+      return 2;
+    }
+  }
+  const double kernel_budget = rep.smoke ? 0.2 : 1.0;
+
+  // --- APSP at n = 48 (paper scale): bitset vs scalar, same graph. --------
+  {
+    const topo::Layout lay{6, 8, 2.0};
+    util::Rng rng(1);
+    const auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+    rep.apsp48_bitset_ns = time_ns_per_op(kernel_budget, [&] {
+      volatile auto d = topo::apsp_bfs(g).rows();
+      (void)d;
+    });
+    rep.apsp48_scalar_ns = time_ns_per_op(kernel_budget, [&] {
+      volatile auto d = topo::apsp_bfs_scalar(g).rows();
+      (void)d;
+    });
+    rep.apsp48_speedup = rep.apsp48_scalar_ns / rep.apsp48_bitset_ns;
+  }
+
+  // --- Cut refresh: exact enumeration at n = 20, heuristic at n = 48. -----
+  {
+    const auto g20 = topo::build_folded_torus(topo::Layout::noi_4x5());
+    rep.cut_exact20_ms = time_ns_per_op(kernel_budget, [&] {
+      volatile auto bw = topo::sparsest_cut_exact(g20).bandwidth;
+      (void)bw;
+    }) / 1e6;
+    const topo::Layout lay{6, 8, 2.0};
+    util::Rng rng(2);
+    const auto g48 = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+    rep.cut_heuristic48_ms = time_ns_per_op(kernel_budget, [&] {
+      util::Rng r(0x5EED);
+      volatile auto bw = topo::sparsest_cut_heuristic(g48, r, 8).bandwidth;
+      (void)bw;
+    }) / 1e6;
+  }
+
+  // --- Annealer move throughput (LatOp on the 4x5 NoI). -------------------
+  {
+    core::SynthesisConfig cfg;
+    cfg.layout = topo::Layout::noi_4x5();
+    cfg.link_class = topo::LinkClass::kMedium;
+    cfg.objective = core::Objective::kLatOp;
+    cfg.time_limit_s = rep.smoke ? 0.5 : 4.0;
+    cfg.restarts = 2;
+    cfg.seed = 6;
+    core::AnnealOptions opts;
+    opts.threads = 0;  // auto: exercise the parallel restart path
+    util::WallTimer timer;
+    const auto r = core::anneal_synthesize(cfg, opts);
+    const double secs = timer.seconds();
+    rep.anneal_moves_per_sec = static_cast<double>(r.moves) / secs;
+    rep.anneal_accept_rate =
+        r.moves > 0 ? static_cast<double>(r.accepted) / r.moves : 0.0;
+  }
+
+  // --- Simulator cycle throughput (folded torus, MCLB, coherence). --------
+  {
+    const auto lay = topo::Layout::noi_4x5();
+    const auto plan = core::plan_network(topo::build_folded_torus(lay), lay,
+                                         core::RoutingPolicy::kMclb, 6);
+    sim::TrafficConfig t;
+    t.kind = sim::TrafficKind::kCoherence;
+    t.injection_rate = 0.05;
+    sim::SimConfig cfg;
+    cfg.warmup = 500;
+    cfg.measure = 2000;
+    cfg.drain = 2000;
+    const long cycles_per_run = cfg.warmup + cfg.measure + cfg.drain;
+    util::WallTimer timer;
+    long runs = 0;
+    do {
+      volatile auto acc = sim::simulate(plan, t, cfg).accepted;
+      (void)acc;
+      ++runs;
+    } while (timer.seconds() < (rep.smoke ? 0.5 : 2.0));
+    rep.sim_cycles_per_sec =
+        static_cast<double>(runs * cycles_per_run) / timer.seconds();
+  }
+
+  write_json(rep, out);
+  std::printf("perf_report%s: anneal %.0f moves/s | apsp48 %.0f ns (scalar "
+              "%.0f ns, %.2fx) | cut20 %.2f ms | sim %.2e cyc/s -> %s\n",
+              rep.smoke ? " [smoke]" : "", rep.anneal_moves_per_sec,
+              rep.apsp48_bitset_ns, rep.apsp48_scalar_ns, rep.apsp48_speedup,
+              rep.cut_exact20_ms, rep.sim_cycles_per_sec, out.c_str());
+
+  if (min_apsp_speedup > 0.0 && rep.apsp48_speedup < min_apsp_speedup) {
+    std::fprintf(stderr,
+                 "perf_report: APSP bitset speedup %.2fx below required %.2fx\n",
+                 rep.apsp48_speedup, min_apsp_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,14 @@
 #include "core/anneal.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/bounds.hpp"
@@ -19,26 +24,21 @@ namespace {
 
 constexpr double kDisconnected = 1e9;
 
-// Scratch-buffer BFS evaluation: total hops, or kDisconnected-scaled penalty
-// counting unreachable pairs so the search gradient points toward
-// connectivity.
+// Word-parallel objective engine: total / weighted hops via bitset BFS over
+// the graph's adjacency bit rows (scratch reused across moves). Unreachable
+// pairs contribute a kDisconnected-scaled penalty so the search gradient
+// points toward connectivity.
 class HopEvaluator {
  public:
-  explicit HopEvaluator(int n) : n_(n), dist_(n), queue_(n) {}
+  explicit HopEvaluator(int n) : n_(n), bfs_(n), dist_(n) {}
 
-  // Returns {total_hops (or penalty), ok}.
   double total_hops(const topo::DiGraph& g) {
     double total = 0.0;
     long unreachable = 0;
     for (int s = 0; s < n_; ++s) {
-      bfs(g, s);
-      for (int j = 0; j < n_; ++j) {
-        if (j == s) continue;
-        if (dist_[j] < 0)
-          ++unreachable;
-        else
-          total += dist_[j];
-      }
+      int miss = 0;
+      total += static_cast<double>(bfs_.sum_from(g, s, &miss));
+      unreachable += miss;
     }
     if (unreachable > 0) return kDisconnected * unreachable;
     return total;
@@ -48,10 +48,10 @@ class HopEvaluator {
     double total = 0.0, wsum = 0.0;
     long unreachable = 0;
     for (int s = 0; s < n_; ++s) {
-      bfs(g, s);
+      bfs_.distances(g, s, dist_.data());
       for (int j = 0; j < n_; ++j) {
         if (j == s || w(s, j) <= 0.0) continue;
-        if (dist_[j] < 0) {
+        if (dist_[j] >= topo::kUnreachable) {
           ++unreachable;
         } else {
           total += w(s, j) * dist_[j];
@@ -64,25 +64,9 @@ class HopEvaluator {
   }
 
  private:
-  void bfs(const topo::DiGraph& g, int s) {
-    std::fill(dist_.begin(), dist_.end(), -1);
-    int head = 0, tail = 0;
-    dist_[s] = 0;
-    queue_[tail++] = s;
-    while (head < tail) {
-      const int u = queue_[head++];
-      for (int v : g.out_neighbors(u)) {
-        if (dist_[v] < 0) {
-          dist_[v] = dist_[u] + 1;
-          queue_[tail++] = v;
-        }
-      }
-    }
-  }
-
   int n_;
+  topo::BitBfs bfs_;
   std::vector<int> dist_;
-  std::vector<int> queue_;
 };
 
 // Lazily grown cache of the most binding cuts for the SCOp surrogate.
@@ -131,18 +115,12 @@ class CutCache {
     return topo::sparsest_cut_heuristic(g, rng, 48);
   }
 
+  // Popcount evaluation of a cached cut via the shared word-parallel
+  // cross-edge counter in topo/cuts.
   double bw(const topo::DiGraph& g, std::uint64_t mask) const {
-    int uv = 0, vu = 0, usz = 0;
-    for (int i = 0; i < n_; ++i) usz += static_cast<int>(mask >> i & 1);
+    const int usz = std::popcount(mask);
     if (usz == 0 || usz == n_) return std::numeric_limits<double>::infinity();
-    for (int i = 0; i < n_; ++i) {
-      const bool ui = mask >> i & 1;
-      for (int j : g.out_neighbors(i)) {
-        const bool uj = mask >> j & 1;
-        if (ui && !uj) ++uv;
-        else if (!ui && uj) ++vu;
-      }
-    }
+    const auto [uv, vu] = topo::cross_edge_counts(g, mask);
     return static_cast<double>(std::min(uv, vu)) /
            (static_cast<double>(usz) * (n_ - usz));
   }
@@ -176,73 +154,140 @@ struct EdgePool {
   }
 };
 
-class Annealer {
- public:
-  Annealer(const SynthesisConfig& cfg, const AnnealOptions& opts)
-      : cfg_(cfg),
-        opts_(opts),
-        n_(cfg.layout.n()),
-        rng_(cfg.seed),
-        hop_eval_(n_),
-        cuts_(n_, opts.cut_cache_size) {
-    // Candidate link set L (C3), organized per node for move proposals.
-    out_cand_.resize(n_);
+// Shared, immutable search inputs (candidate link set, analytic bound).
+struct SearchContext {
+  SynthesisConfig cfg;
+  AnnealOptions opts;
+  int n = 0;
+  std::vector<std::vector<int>> out_cand;  // candidate link set L (C3)
+  double bound = 0.0;
+
+  SearchContext(const SynthesisConfig& c, const AnnealOptions& o)
+      : cfg(c), opts(o), n(c.layout.n()) {
+    out_cand.resize(n);
     for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class)) {
       if (cfg.symmetric_links && i > j) continue;
-      out_cand_[i].push_back(j);
+      out_cand[i].push_back(j);
     }
     if (cfg.objective == Objective::kLatOp) {
-      bound_ = average_hops_lower_bound(cfg.layout, cfg.link_class, cfg.radix);
+      bound = average_hops_lower_bound(cfg.layout, cfg.link_class, cfg.radix);
     } else if (cfg.objective == Objective::kSCOp) {
-      bound_ = sparsest_cut_upper_bound(cfg.layout, cfg.link_class, cfg.radix);
+      bound = sparsest_cut_upper_bound(cfg.layout, cfg.link_class, cfg.radix);
     } else {
       // Weighted-hops bound: distances in the all-valid-links graph.
-      topo::DiGraph pot(n_);
+      topo::DiGraph pot(n);
       for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class))
         pot.add_edge(i, j);
-      bound_ = hop_eval_.weighted_hops(pot, cfg_.pattern);
+      HopEvaluator eval(n);
+      bound = eval.weighted_hops(pot, cfg.pattern);
     }
   }
 
-  SynthesisResult run() {
-    SynthesisResult result;
-    result.bound = bound_;
-    const double per_restart =
-        cfg_.time_limit_s / std::max(1, cfg_.restarts);
-
-    bool have_best = false;
-    double best_primary = 0.0, best_secondary = 0.0;
-    topo::DiGraph best_graph;
-
-    for (int restart = 0; restart < std::max(1, cfg_.restarts); ++restart) {
-      run_one(per_restart, restart, result, have_best, best_primary,
-              best_secondary, best_graph);
-    }
-
-    if (!have_best)
-      throw std::runtime_error(
-          "anneal_synthesize: no topology satisfying the constraints "
-          "(diameter / min-bandwidth) was found within the time budget");
-
-    result.graph = best_graph;
-    result.objective_value = best_primary;
-    if (cfg_.objective == Objective::kLatOp ||
-        cfg_.objective == Objective::kPattern)
-      result.objective_value = best_primary;  // average / weighted hops
-    return result;
-  }
-
- private:
   // Primary objective in *reporting* units: avg hops (min) or exact cut
   // bandwidth (max). Secondary: avg hops for SCOp tie-breaks.
   bool better(double p, double s, double bp, double bs) const {
-    if (cfg_.objective == Objective::kSCOp) {
+    if (cfg.objective == Objective::kSCOp) {
       if (p != bp) return p > bp;
       return s < bs;
     }
     return p < bp;
   }
+};
 
+// Everything one restart produces; merged by the deterministic reduction.
+struct RestartOutcome {
+  bool have = false;
+  double primary = 0.0, secondary = 0.0;
+  topo::DiGraph graph;
+  struct TracePt {
+    double seconds, primary, secondary;
+  };
+  std::vector<TracePt> trace;
+  long moves = 0, accepted = 0;
+  double duration_s = 0.0;
+};
+
+// One restart: fully self-contained state (RNG, objective engine, cut
+// cache, incumbent), so restarts are trivially parallel and the search
+// trajectory depends only on (cfg, opts, restart index).
+class RestartRun {
+ public:
+  RestartRun(const SearchContext& ctx, int restart)
+      : ctx_(ctx),
+        cfg_(ctx.cfg),
+        restart_(restart),
+        n_(ctx.n),
+        rng_(cfg_.seed * 0x9E3779B9 + restart * 1234567 + 1),
+        hop_eval_(n_),
+        cuts_(n_, ctx.opts.cut_cache_size) {}
+
+  RestartOutcome run() {
+    util::WallTimer timer;
+    RestartOutcome out;
+
+    topo::DiGraph g =
+        cfg_.symmetric_links
+            ? topo::build_random_symmetric(cfg_.layout, cfg_.link_class,
+                                           cfg_.radix, rng_)
+            : topo::build_random(cfg_.layout, cfg_.link_class, cfg_.radix, rng_);
+    EdgePool pool;
+    pool.rebuild(g, cfg_.symmetric_links);
+
+    const double budget_s = cfg_.time_limit_s / std::max(1, cfg_.restarts);
+    const long budget_moves = ctx_.opts.max_moves;
+    long moves_done = 0;
+
+    double score = search_score(g);
+    long accepts_since_refresh = 0;
+
+    for (;;) {
+      double frac;
+      if (budget_moves > 0) {
+        if (moves_done >= budget_moves) break;
+        frac = static_cast<double>(moves_done) / budget_moves;
+      } else {
+        const double el = timer.seconds();
+        if (el >= budget_s) break;
+        frac = el / budget_s;
+      }
+      const double temp =
+          ctx_.opts.t0 * std::pow(ctx_.opts.t1 / ctx_.opts.t0, frac);
+
+      for (int inner = 0; inner < 200; ++inner) {
+        if (budget_moves > 0 && moves_done >= budget_moves) break;
+        ++out.moves;
+        ++moves_done;
+        if (!propose_and_apply(g, pool)) continue;
+        const double cand = search_score(g);
+        const double delta = cand - score;
+        if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temp)) {
+          score = cand;
+          ++out.accepted;
+          ++accepts_since_refresh;
+        } else {
+          undo(g, pool);
+          continue;
+        }
+
+        // Candidate incumbent: exact objective, behind a cheap reject gate.
+        maybe_update_incumbent(g, out, timer, &score);
+
+        const bool uses_cut_cache =
+            cfg_.objective == Objective::kSCOp ||
+            (cfg_.min_cut_bandwidth > 0.0 && n_ > 12);
+        if (uses_cut_cache &&
+            accepts_since_refresh >= ctx_.opts.cut_refresh_accepts) {
+          accepts_since_refresh = 0;
+          cuts_.refresh(g);
+          score = search_score(g);
+        }
+      }
+    }
+    out.duration_s = timer.seconds();
+    return out;
+  }
+
+ private:
   // C7 penalty: shortfall against the minimum sparsest-cut bandwidth,
   // evaluated exactly for tiny n and through the cut cache otherwise.
   double bandwidth_penalty(const topo::DiGraph& g) {
@@ -253,25 +298,29 @@ class Annealer {
     return std::max(0.0, cfg_.min_cut_bandwidth - bw) * 50000.0;
   }
 
+  // Also records the uniform hops (and pattern-weighted hops) of the scored
+  // graph in last_hops_ / last_weighted_, so the incumbent check below does
+  // not redo the APSP the move evaluation just paid for.
   double search_score(const topo::DiGraph& g) {
     switch (cfg_.objective) {
       case Objective::kLatOp:
-        return hop_eval_.total_hops(g) + bandwidth_penalty(g);
+        last_hops_ = hop_eval_.total_hops(g);
+        return last_hops_ + bandwidth_penalty(g);
       case Objective::kPattern: {
         // Primary: pattern-weighted hops. Secondary (small weight): uniform
         // total hops, which keeps the spare port budget working for the
         // traffic the pattern doesn't exercise instead of leaving links
         // unplaced.
-        const double uniform = hop_eval_.total_hops(g);
-        if (uniform >= kDisconnected) return uniform;
-        return hop_eval_.weighted_hops(g, cfg_.pattern) *
-                   static_cast<double>(n_) * (n_ - 1) +
-               0.05 * uniform + bandwidth_penalty(g);
+        last_hops_ = hop_eval_.total_hops(g);
+        if (last_hops_ >= kDisconnected) return last_hops_;
+        last_weighted_ = hop_eval_.weighted_hops(g, cfg_.pattern);
+        return last_weighted_ * static_cast<double>(n_) * (n_ - 1) +
+               0.05 * last_hops_ + bandwidth_penalty(g);
       }
       case Objective::kSCOp: {
-        const double hops = hop_eval_.total_hops(g);
-        if (hops >= kDisconnected) return hops;
-        const double avg = hops / (static_cast<double>(n_) * (n_ - 1));
+        last_hops_ = hop_eval_.total_hops(g);
+        if (last_hops_ >= kDisconnected) return last_hops_;
+        const double avg = last_hops_ / (static_cast<double>(n_) * (n_ - 1));
         // Tiny instances: the exact sparsest cut is cheap enough to evaluate
         // on every move; the cut-cache surrogate is for paper-scale n.
         if (n_ <= 12)
@@ -284,106 +333,78 @@ class Annealer {
     return 0.0;
   }
 
-  void run_one(double budget_s, int restart, SynthesisResult& result,
-               bool& have_best, double& best_primary, double& best_secondary,
-               topo::DiGraph& best_graph) {
-    util::WallTimer timer;
-    rng_.reseed(cfg_.seed * 0x9E3779B9 + restart * 1234567 + 1);
+  void maybe_update_incumbent(const topo::DiGraph& g, RestartOutcome& out,
+                              const util::WallTimer& timer, double* score) {
+    // last_hops_ is the APSP result of the accepted move's search_score:
+    // no second all-pairs traversal here.
+    const double hops = last_hops_;
+    if (hops >= kDisconnected) return;
+    const double avg = hops / (static_cast<double>(n_) * (n_ - 1));
 
-    topo::DiGraph g =
-        cfg_.symmetric_links
-            ? topo::build_random_symmetric(cfg_.layout, cfg_.link_class,
-                                           cfg_.radix, rng_)
-            : topo::build_random(cfg_.layout, cfg_.link_class, cfg_.radix, rng_);
-    EdgePool pool;
-    pool.rebuild(g, cfg_.symmetric_links);
-
-    double score = search_score(g);
-    long accepts_since_refresh = 0;
-
-    while (timer.seconds() < budget_s) {
-      const double frac = timer.seconds() / budget_s;
-      const double temp = opts_.t0 * std::pow(opts_.t1 / opts_.t0, frac);
-
-      for (int inner = 0; inner < 200; ++inner) {
-        ++result.moves;
-        if (!propose_and_apply(g, pool)) continue;
-        const double cand = search_score(g);
-        const double delta = cand - score;
-        if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temp)) {
-          score = cand;
-          ++result.accepted;
-          ++accepts_since_refresh;
-        } else {
-          undo(g, pool);
-          continue;
-        }
-
-        // Candidate incumbent: compute the exact objective.
-        maybe_update_incumbent(g, result, have_best, best_primary,
-                               best_secondary, best_graph, restart, timer);
-
-        const bool uses_cut_cache =
-            cfg_.objective == Objective::kSCOp ||
-            (cfg_.min_cut_bandwidth > 0.0 && n_ > 12);
-        if (uses_cut_cache &&
-            accepts_since_refresh >= opts_.cut_refresh_accepts) {
-          accepts_since_refresh = 0;
-          cuts_.refresh(g);
-          score = search_score(g);
+    // Cheap reject: skip the diameter APSP and exact-cut work whenever the
+    // accepted score cannot beat this restart's incumbent.
+    if (out.have) {
+      switch (cfg_.objective) {
+        case Objective::kLatOp:
+          if (avg >= out.primary) return;
+          break;
+        case Objective::kPattern:
+          if (last_weighted_ >= out.primary) return;
+          break;
+        case Objective::kSCOp: {
+          // Only pay for an exact cut when the surrogate looks competitive.
+          const double surrogate = cuts_.cached_bandwidth(g);
+          if (surrogate < out.primary ||
+              (surrogate == out.primary && avg >= out.secondary))
+            return;
+          break;
         }
       }
     }
-  }
 
-  void maybe_update_incumbent(const topo::DiGraph& g, SynthesisResult& result,
-                              bool& have_best, double& best_primary,
-                              double& best_secondary, topo::DiGraph& best_graph,
-                              int restart, const util::WallTimer& timer) {
-    const double hops = hop_eval_.total_hops(g);
-    if (hops >= kDisconnected) return;
     if (cfg_.diameter_bound > 0 && topo::diameter(g) > cfg_.diameter_bound)
       return;
+    double verified_bw = -1.0;  // exact cut from the C7 check, if it ran
     if (cfg_.min_cut_bandwidth > 0.0) {
-      // C7 is a hard constraint on incumbents: verify with the exact cut.
-      const double bw = n_ <= 26
-                            ? topo::sparsest_cut_exact(g).bandwidth
-                            : cuts_.refresh(g);
-      if (bw + 1e-12 < cfg_.min_cut_bandwidth) return;
+      // The cached bandwidth upper-bounds the exact sparsest cut, so a
+      // cached violation already proves C7 infeasibility — no enumeration.
+      if (!cuts_.empty() &&
+          cuts_.cached_bandwidth(g) + 1e-12 < cfg_.min_cut_bandwidth)
+        return;
+      // C7 is a hard constraint on incumbents: verify with the exact cut
+      // (refresh() also inserts it into the cache, so a violated cut is
+      // caught by the cheap cached check from then on).
+      const double bw = cuts_.refresh(g);
+      verified_bw = bw;
+      if (bw + 1e-12 < cfg_.min_cut_bandwidth) {
+        // The cache just learned why this candidate is infeasible; re-score
+        // the current graph so the search feels the violation.
+        *score = search_score(g);
+        return;
+      }
     }
-    const double avg = hops / (static_cast<double>(n_) * (n_ - 1));
 
     double primary, secondary;
     if (cfg_.objective == Objective::kSCOp) {
-      // Only pay for an exact cut when the surrogate looks competitive.
-      const double surrogate = cuts_.cached_bandwidth(g);
-      if (have_best &&
-          (surrogate < best_primary ||
-           (surrogate == best_primary && avg >= best_secondary)))
-        return;
-      primary = cuts_.refresh(g);  // exact value, also tightens the cache
+      // Exact value (also tightens the cache); the C7 check above may have
+      // just computed it for this same graph.
+      primary = verified_bw >= 0.0 ? verified_bw : cuts_.refresh(g);
       secondary = avg;
     } else if (cfg_.objective == Objective::kPattern) {
-      primary = hop_eval_.weighted_hops(g, cfg_.pattern);
+      primary = last_weighted_;
       secondary = avg;
     } else {
       primary = avg;
       secondary = avg;
     }
 
-    if (!have_best || better(primary, secondary, best_primary, best_secondary)) {
-      have_best = true;
-      best_primary = primary;
-      best_secondary = secondary;
-      best_graph = g;
-      if (static_cast<int>(result.trace.size()) < opts_.max_trace_points) {
-        ProgressPoint pt;
-        pt.seconds = timer.seconds() +
-                     restart * (cfg_.time_limit_s / std::max(1, cfg_.restarts));
-        pt.incumbent = primary;
-        pt.bound = bound_;
-        result.trace.push_back(pt);
-      }
+    if (!out.have || ctx_.better(primary, secondary, out.primary, out.secondary)) {
+      out.have = true;
+      out.primary = primary;
+      out.secondary = secondary;
+      out.graph = g;
+      if (static_cast<int>(out.trace.size()) < ctx_.opts.max_trace_points)
+        out.trace.push_back({timer.seconds(), primary, secondary});
     }
   }
 
@@ -419,8 +440,8 @@ class Annealer {
   bool try_random_add(topo::DiGraph& g, EdgePool& pool) {
     for (int attempt = 0; attempt < 16; ++attempt) {
       const int i = static_cast<int>(rng_.uniform_int(0, n_ - 1));
-      if (out_cand_[i].empty()) continue;
-      const int j = rng_.pick(out_cand_[i]);
+      if (ctx_.out_cand[i].empty()) continue;
+      const int j = rng_.pick(ctx_.out_cand[i]);
       if (g.has_edge(i, j) || (cfg_.symmetric_links && g.has_edge(j, i)))
         continue;
       if (!degree_ok_add(g, i, j)) continue;
@@ -468,23 +489,120 @@ class Annealer {
     }
   }
 
-  SynthesisConfig cfg_;
-  AnnealOptions opts_;
+  const SearchContext& ctx_;
+  const SynthesisConfig& cfg_;
+  int restart_;
   int n_;
   util::Rng rng_;
   HopEvaluator hop_eval_;
   CutCache cuts_;
-  std::vector<std::vector<int>> out_cand_;
-  double bound_ = 0.0;
+  double last_hops_ = 0.0;
+  double last_weighted_ = 0.0;
   Delta delta_;
 };
+
+int resolve_threads(int requested, int restarts) {
+  int t = requested;
+  if (t == 0) t = static_cast<int>(std::thread::hardware_concurrency());
+  if (t < 1) t = 1;
+  return std::min(t, restarts);
+}
 
 }  // namespace
 
 SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
                                   const AnnealOptions& opts) {
-  Annealer a(cfg, opts);
-  return a.run();
+  const SearchContext ctx(cfg, opts);
+  const int restarts = std::max(1, cfg.restarts);
+  const int threads = resolve_threads(opts.threads, restarts);
+
+  std::vector<RestartOutcome> outcomes(restarts);
+  if (threads <= 1) {
+    for (int r = 0; r < restarts; ++r)
+      outcomes[r] = RestartRun(ctx, r).run();
+  } else {
+    std::atomic<int> next{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const int r = next.fetch_add(1);
+          if (r >= restarts) return;
+          try {
+            outcomes[r] = RestartRun(ctx, r).run();
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Deterministic best-of reduction: walk restarts in index order with the
+  // same strictly-better comparison the serial incumbent loop applies, so
+  // the winner (and the merged monotone trace) is independent of thread
+  // scheduling.
+  SynthesisResult result;
+  result.bound = ctx.bound;
+  const double per_restart = cfg.time_limit_s / restarts;
+
+  bool have = false;
+  double bp = 0.0, bs = 0.0;
+  int best_restart = -1;
+  for (int r = 0; r < restarts; ++r) {
+    const auto& out = outcomes[r];
+    result.moves += out.moves;
+    result.accepted += out.accepted;
+    if (out.have &&
+        (!have || ctx.better(out.primary, out.secondary, bp, bs))) {
+      have = true;
+      bp = out.primary;
+      bs = out.secondary;
+      best_restart = r;
+    }
+  }
+
+  // Merged monotone trace: keep only the points that improved on every
+  // earlier restart's incumbent, exactly as a serial global-incumbent loop
+  // would have logged them. Restart r's points are offset as if restarts ran
+  // back-to-back: by the nominal time slice in wall-clock mode, and by the
+  // sum of actual durations in move-budget mode (where a restart may run
+  // past time_limit_s / restarts), keeping the x-axis monotone.
+  bool thave = false;
+  double tp = 0.0, ts = 0.0;
+  double offset = 0.0;
+  for (int r = 0; r < restarts; ++r) {
+    for (const auto& pt : outcomes[r].trace) {
+      if (thave && !ctx.better(pt.primary, pt.secondary, tp, ts)) continue;
+      thave = true;
+      tp = pt.primary;
+      ts = pt.secondary;
+      if (static_cast<int>(result.trace.size()) < opts.max_trace_points) {
+        ProgressPoint p;
+        p.seconds = pt.seconds + offset;
+        p.incumbent = pt.primary;
+        p.bound = ctx.bound;
+        result.trace.push_back(p);
+      }
+    }
+    offset += opts.max_moves > 0 ? outcomes[r].duration_s : per_restart;
+  }
+
+  if (!have || best_restart < 0)
+    throw std::runtime_error(
+        "anneal_synthesize: no topology satisfying the constraints "
+        "(diameter / min-bandwidth) was found within the time budget");
+
+  result.graph = outcomes[best_restart].graph;
+  result.objective_value = outcomes[best_restart].primary;
+  return result;
 }
 
 }  // namespace netsmith::core

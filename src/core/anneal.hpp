@@ -10,18 +10,36 @@
 // worst cuts (cutting-plane style): cheap surrogate evaluations against the
 // cached partitions, with periodic exact sparsest-cut refreshes that insert
 // newly violated partitions.
+//
+// Restarts are independent searches: each owns its RNG (seeded from
+// cfg.seed and the restart index), objective engine, cut cache and
+// incumbent, so they can run on `threads` worker threads. The best-of
+// reduction walks restarts in index order with the same strictly-better
+// comparison the serial loop uses, which makes the parallel result
+// bit-identical to the serial one. With `max_moves > 0` the temperature
+// schedule and termination are driven by the move counter instead of the
+// wall clock, so a fixed seed reproduces the exact same topology at any
+// thread count.
 
 #include "core/config.hpp"
 
 namespace netsmith::core {
 
 struct AnnealOptions {
-  // Temperature schedule (geometric in elapsed-time fraction).
+  // Temperature schedule (geometric in elapsed-time or elapsed-move
+  // fraction, see max_moves).
   double t0 = 8.0;
   double t1 = 0.02;
   int cut_cache_size = 320;
   int cut_refresh_accepts = 500;  // exact-cut refresh cadence for SCOp
   int max_trace_points = 512;
+  // Restart parallelism: 1 = serial, 0 = hardware_concurrency, k > 1 = k
+  // worker threads. The result is bit-identical across thread counts when
+  // max_moves > 0 (deterministic schedule).
+  int threads = 1;
+  // Per-restart move budget; 0 = wall-clock budget (time_limit_s /
+  // restarts per restart, not bit-reproducible across runs).
+  long max_moves = 0;
 };
 
 SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,

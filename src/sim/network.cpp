@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <functional>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/objective.hpp"
@@ -176,13 +179,23 @@ class Simulator {
   }
 
   // --- Flit movement -------------------------------------------------------
+  // Event-driven delivery: instead of scanning every channel every cycle, a
+  // min-heap holds one (earliest in-flight arrival, channel) entry per
+  // channel with flits on the wire. Per-channel arrivals are monotone (FIFO
+  // wire, fixed latency), so the invariant "in the heap iff flight
+  // non-empty" survives pops and re-arms.
   void deliver_arrivals(long cycle) {
-    for (auto& ch : channels_) {
+    while (!arrival_heap_.empty() && arrival_heap_.top().first <= cycle) {
+      const int id = arrival_heap_.top().second;
+      arrival_heap_.pop();
+      Channel& ch = channels_[id];
       while (!ch.flight.empty() && ch.flight.front().arrive <= cycle) {
         auto& f = ch.flight.front();
         ch.in_buf[f.vc].push_back(f.flit);
         ch.flight.pop_front();
       }
+      if (!ch.flight.empty())
+        arrival_heap_.emplace(ch.flight.front().arrive, id);
     }
   }
 
@@ -272,6 +285,8 @@ class Simulator {
       pop(u, k, vc, cycle);
       --out.credits[vc];
       out.owner[vc] = sent.tail ? nullptr : p;
+      if (out.flight.empty())
+        arrival_heap_.emplace(cycle + out.latency, eid);
       out.flight.push_back({cycle + out.latency, sent, vc});
       rr = static_cast<int>((slot + 1) % slots);
       return;  // one flit per output per cycle
@@ -341,6 +356,11 @@ class Simulator {
   util::Rng rng_;
 
   std::vector<Channel> channels_;
+  // One (earliest arrival, channel id) entry per channel with in-flight
+  // flits; see deliver_arrivals.
+  std::priority_queue<std::pair<long, int>, std::vector<std::pair<long, int>>,
+                      std::greater<>>
+      arrival_heap_;
   std::vector<int> edge_id_;
   std::vector<std::vector<int>> out_edges_, in_edges_;
   std::vector<int> out_rr_, eject_rr_;

@@ -1,16 +1,26 @@
 #include "topo/cuts.hpp"
 
+#if defined(_OPENMP)
 #include <omp.h>
+#endif
 
 #include <algorithm>
 #include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace netsmith::topo {
 
 namespace {
+
+#if !defined(_OPENMP)
+// Serial fallbacks so the enumeration loops below compile unchanged when
+// OpenMP is unavailable (the pragmas are then no-ops).
+int omp_get_num_threads() { return 1; }
+int omp_get_thread_num() { return 0; }
+#endif
 
 double ratio(int cross_uv, int cross_vu, int u_size, int n) {
   const int v_size = n - u_size;
@@ -19,9 +29,77 @@ double ratio(int cross_uv, int cross_vu, int u_size, int n) {
          (static_cast<double>(u_size) * static_cast<double>(v_size));
 }
 
-// Counts cross edges for an explicit membership vector.
-void count_cross(const DiGraph& g, const std::vector<std::uint8_t>& in_u,
-                 int* cross_uv, int* cross_vu) {
+// Word-parallel cross-edge count: for each node one AND + popcount against
+// its out-adjacency bit row. O(n) popcounts instead of O(m) branches.
+void count_cross(const DiGraph& g, std::uint64_t mask, int* cross_uv,
+                 int* cross_vu) {
+  int uv = 0, vu = 0;
+  const int n = g.num_nodes();
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t row = g.out_bits(i)[0];
+    if (mask >> i & 1)
+      uv += std::popcount(row & ~mask);
+    else
+      vu += std::popcount(row & mask);
+  }
+  *cross_uv = uv;
+  *cross_vu = vu;
+}
+
+// Flips node b's membership and updates cross counts with four popcounts
+// over b's own bit rows (out- and in-adjacency vs. the current mask).
+void flip_node(const DiGraph& g, std::uint64_t& mask, int b, int* cross_uv,
+               int* cross_vu, int* u_size) {
+  const std::uint64_t out = g.out_bits(b)[0];
+  const std::uint64_t in = g.in_bits(b)[0];
+  // Self-loops are impossible, so bit b never appears in b's own rows and
+  // the popcounts below are unaffected by b's side of the mask.
+  if (mask >> b & 1) {
+    *cross_uv -= std::popcount(out & ~mask);
+    *cross_vu -= std::popcount(in & ~mask);
+    mask &= ~(1ULL << b);
+    --*u_size;
+    *cross_vu += std::popcount(out & mask);
+    *cross_uv += std::popcount(in & mask);
+  } else {
+    *cross_vu -= std::popcount(out & mask);
+    *cross_uv -= std::popcount(in & mask);
+    mask |= 1ULL << b;
+    ++*u_size;
+    *cross_uv += std::popcount(out & ~mask);
+    *cross_vu += std::popcount(in & ~mask);
+  }
+}
+
+// Clears mask bits at or above n (callers may pass unnormalized masks).
+std::uint64_t clip_mask(std::uint64_t mask, int n) {
+  return n >= 64 ? mask : mask & ((1ULL << n) - 1);
+}
+
+Cut make_cut(const DiGraph& g, std::uint64_t mask) {
+  const int n = g.num_nodes();
+  mask = clip_mask(mask, n);
+  const int usz = std::popcount(mask);
+  Cut c;
+  c.u_mask = mask;
+  c.u_size = usz;
+  count_cross(g, mask, &c.cross_uv, &c.cross_vu);
+  c.bandwidth = (usz == 0 || usz == n)
+                    ? std::numeric_limits<double>::infinity()
+                    : ratio(c.cross_uv, c.cross_vu, usz, n);
+  return c;
+}
+
+void require_mask_width(const DiGraph& g, const char* who) {
+  if (g.num_nodes() > 64)
+    throw std::invalid_argument(std::string(who) +
+                                ": n > 64 exceeds the uint64 partition mask");
+}
+
+// Scalar membership-vector variants for graphs wider than one mask word
+// (bisection_bandwidth supports arbitrary n; masks cap the other APIs).
+void count_cross_scalar(const DiGraph& g, const std::vector<std::uint8_t>& in_u,
+                        int* cross_uv, int* cross_vu) {
   int uv = 0, vu = 0;
   const int n = g.num_nodes();
   for (int i = 0; i < n; ++i) {
@@ -34,37 +112,15 @@ void count_cross(const DiGraph& g, const std::vector<std::uint8_t>& in_u,
   *cross_vu = vu;
 }
 
-Cut make_cut(const DiGraph& g, std::uint64_t mask) {
-  const int n = g.num_nodes();
-  std::vector<std::uint8_t> in_u(n, 0);
-  int usz = 0;
-  for (int i = 0; i < n; ++i)
-    if (mask >> i & 1) {
-      in_u[i] = 1;
-      ++usz;
-    }
-  Cut c;
-  c.u_mask = mask;
-  c.u_size = usz;
-  count_cross(g, in_u, &c.cross_uv, &c.cross_vu);
-  c.bandwidth = (usz == 0 || usz == n)
-                    ? std::numeric_limits<double>::infinity()
-                    : ratio(c.cross_uv, c.cross_vu, usz, n);
-  return c;
-}
-
-// Flips node b's membership and updates cross counts in O(deg(b)).
-void flip_node(const DiGraph& g, std::vector<std::uint8_t>& in_u, int b,
-               int* cross_uv, int* cross_vu, int* u_size) {
+void flip_node_scalar(const DiGraph& g, std::vector<std::uint8_t>& in_u, int b,
+                      int* cross_uv, int* cross_vu, int* u_size) {
   const bool entering_u = !in_u[b];
   // Remove b's current contribution, then re-add with flipped membership.
   for (int x : g.out_neighbors(b)) {
-    // Edge b -> x.
     if (in_u[b] && !in_u[x]) --*cross_uv;
     else if (!in_u[b] && in_u[x]) --*cross_vu;
   }
   for (int x : g.in_neighbors(b)) {
-    // Edge x -> b.
     if (in_u[x] && !in_u[b]) --*cross_uv;
     else if (!in_u[x] && in_u[b]) --*cross_vu;
   }
@@ -80,9 +136,57 @@ void flip_node(const DiGraph& g, std::vector<std::uint8_t>& in_u, int b,
   }
 }
 
+// Heuristic bisection for n > 64: the pre-bitset implementation over a
+// membership vector (no mask-width limit).
+int bisection_heuristic_scalar(const DiGraph& g) {
+  const int n = g.num_nodes();
+  const int half = n / 2;
+  util::Rng rng(0xB15EC7);
+  int best = std::numeric_limits<int>::max();
+  for (int restart = 0; restart < 96; ++restart) {
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+    rng.shuffle(perm);
+    std::vector<std::uint8_t> in_u(n, 0);
+    for (int i = 0; i < half; ++i) in_u[perm[i]] = 1;
+    int uv = 0, vu = 0;
+    count_cross_scalar(g, in_u, &uv, &vu);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      int usz = half;
+      for (int a = 0; a < n && !improved; ++a) {
+        if (!in_u[a]) continue;
+        for (int b = 0; b < n && !improved; ++b) {
+          if (in_u[b]) continue;
+          const int before = std::min(uv, vu);
+          flip_node_scalar(g, in_u, a, &uv, &vu, &usz);
+          flip_node_scalar(g, in_u, b, &uv, &vu, &usz);
+          if (std::min(uv, vu) < before) {
+            improved = true;
+          } else {
+            flip_node_scalar(g, in_u, b, &uv, &vu, &usz);
+            flip_node_scalar(g, in_u, a, &uv, &vu, &usz);
+          }
+        }
+      }
+    }
+    best = std::min(best, std::min(uv, vu));
+  }
+  return best;
+}
+
 }  // namespace
 
+std::pair<int, int> cross_edge_counts(const DiGraph& g, std::uint64_t u_mask) {
+  require_mask_width(g, "cross_edge_counts");
+  int uv = 0, vu = 0;
+  count_cross(g, clip_mask(u_mask, g.num_nodes()), &uv, &vu);
+  return {uv, vu};
+}
+
 Cut evaluate_cut(const DiGraph& g, std::uint64_t u_mask) {
+  require_mask_width(g, "evaluate_cut");
   return make_cut(g, u_mask);
 }
 
@@ -110,14 +214,9 @@ Cut sparsest_cut_exact(const DiGraph& g) {
     if (lo < hi) {
       // Gray-code walk: gray(i) and gray(i+1) differ in bit ctz(i+1).
       std::uint64_t gray = lo ^ (lo >> 1);
-      std::vector<std::uint8_t> in_u(n, 0);
-      int usz = 0, uv = 0, vu = 0;
-      for (int b = 0; b < n - 1; ++b)
-        if (gray >> b & 1) {
-          in_u[b] = 1;
-          ++usz;
-        }
-      count_cross(g, in_u, &uv, &vu);
+      std::uint64_t mask = gray;
+      int usz = std::popcount(mask), uv = 0, vu = 0;
+      count_cross(g, mask, &uv, &vu);
 
       for (std::uint64_t i = lo;; ++i) {
         if (usz > 0) {
@@ -133,7 +232,7 @@ Cut sparsest_cut_exact(const DiGraph& g) {
         if (i + 1 >= hi) break;
         const int flip = std::countr_zero(i + 1);
         gray ^= 1ULL << flip;
-        flip_node(g, in_u, flip, &uv, &vu, &usz);
+        flip_node(g, mask, flip, &uv, &vu, &usz);
       }
     }
 
@@ -151,11 +250,12 @@ Cut sparsest_cut_exact(const DiGraph& g) {
 Cut sparsest_cut_heuristic(const DiGraph& g, util::Rng& rng, int restarts) {
   const int n = g.num_nodes();
   if (n < 2) throw std::invalid_argument("sparsest_cut_heuristic: n < 2");
+  require_mask_width(g, "sparsest_cut_heuristic");
   Cut best;
   best.bandwidth = std::numeric_limits<double>::infinity();
 
   for (int r = 0; r < restarts; ++r) {
-    std::vector<std::uint8_t> in_u(n, 0);
+    std::uint64_t mask = 0;
     int usz = 0;
     // Random initial subset of random target size in [1, n-1].
     const int target = static_cast<int>(rng.uniform_int(1, n - 1));
@@ -163,11 +263,11 @@ Cut sparsest_cut_heuristic(const DiGraph& g, util::Rng& rng, int restarts) {
     for (int i = 0; i < n; ++i) perm[i] = i;
     rng.shuffle(perm);
     for (int i = 0; i < target; ++i) {
-      in_u[perm[i]] = 1;
+      mask |= 1ULL << perm[i];
       ++usz;
     }
     int uv = 0, vu = 0;
-    count_cross(g, in_u, &uv, &vu);
+    count_cross(g, mask, &uv, &vu);
 
     // Steepest single-node moves until a local minimum of the ratio.
     bool improved = true;
@@ -177,27 +277,25 @@ Cut sparsest_cut_heuristic(const DiGraph& g, util::Rng& rng, int restarts) {
       int best_node = -1;
       double best_bw = cur;
       for (int b = 0; b < n; ++b) {
+        const bool in_u = mask >> b & 1;
         // Don't empty either side.
-        if ((in_u[b] && usz == 1) || (!in_u[b] && usz == n - 1)) continue;
-        flip_node(g, in_u, b, &uv, &vu, &usz);
+        if ((in_u && usz == 1) || (!in_u && usz == n - 1)) continue;
+        flip_node(g, mask, b, &uv, &vu, &usz);
         const double bw = ratio(uv, vu, usz, n);
         if (bw < best_bw - 1e-12) {
           best_bw = bw;
           best_node = b;
         }
-        flip_node(g, in_u, b, &uv, &vu, &usz);  // undo
+        flip_node(g, mask, b, &uv, &vu, &usz);  // undo
       }
       if (best_node >= 0) {
-        flip_node(g, in_u, best_node, &uv, &vu, &usz);
+        flip_node(g, mask, best_node, &uv, &vu, &usz);
         improved = true;
       }
     }
 
     const double bw = ratio(uv, vu, usz, n);
     if (bw < best.bandwidth) {
-      std::uint64_t mask = 0;
-      for (int i = 0; i < n; ++i)
-        if (in_u[i]) mask |= 1ULL << i;
       best.bandwidth = bw;
       best.u_mask = mask;
       best.u_size = usz;
@@ -235,21 +333,16 @@ std::vector<Cut> sparsest_cuts_topk(const DiGraph& g, int k) {
 
     if (lo < hi) {
       std::uint64_t gray = lo ^ (lo >> 1);
-      std::vector<std::uint8_t> in_u(n, 0);
-      int usz = 0, uv = 0, vu = 0;
-      for (int b = 0; b < n - 1; ++b)
-        if (gray >> b & 1) {
-          in_u[b] = 1;
-          ++usz;
-        }
-      count_cross(g, in_u, &uv, &vu);
+      std::uint64_t mask = gray;
+      int usz = std::popcount(mask), uv = 0, vu = 0;
+      count_cross(g, mask, &uv, &vu);
 
-      auto consider = [&](std::uint64_t mask, int s, int cuv, int cvu) {
+      auto consider = [&](std::uint64_t m, int s, int cuv, int cvu) {
         if (s == 0) return;
         const double bw = ratio(cuv, cvu, s, n);
         if (static_cast<int>(local.size()) == k && bw >= local.back().bandwidth)
           return;
-        Cut c{mask, s, cuv, cvu, bw};
+        Cut c{m, s, cuv, cvu, bw};
         auto it = std::lower_bound(
             local.begin(), local.end(), c,
             [](const Cut& a, const Cut& b) { return a.bandwidth < b.bandwidth; });
@@ -262,7 +355,7 @@ std::vector<Cut> sparsest_cuts_topk(const DiGraph& g, int k) {
         if (i + 1 >= hi) break;
         const int flip = std::countr_zero(i + 1);
         gray ^= 1ULL << flip;
-        flip_node(g, in_u, flip, &uv, &vu, &usz);
+        flip_node(g, mask, flip, &uv, &vu, &usz);
       }
     }
   }
@@ -280,6 +373,9 @@ std::vector<Cut> sparsest_cuts_topk(const DiGraph& g, int k) {
 int bisection_bandwidth(const DiGraph& g) {
   const int n = g.num_nodes();
   if (n < 2) return 0;
+  // Wider than one mask word: scalar membership-vector heuristic (the
+  // parametric baselines generate graphs at arbitrary router counts).
+  if (n > 64) return bisection_heuristic_scalar(g);
   const int half = n / 2;
 
   if (n <= 24) {
@@ -287,16 +383,12 @@ int bisection_bandwidth(const DiGraph& g) {
     // this visits each unordered bisection once; for odd n, U is the smaller
     // side).
     int best = std::numeric_limits<int>::max();
-    std::vector<std::uint8_t> in_u(n, 0);
     // Iterate combinations of {0..n-2} choose half via bit tricks.
     std::uint64_t comb = (1ULL << half) - 1;
     const std::uint64_t limit = 1ULL << (n - 1);
     while (comb < limit) {
-      std::fill(in_u.begin(), in_u.end(), 0);
-      for (int i = 0; i < n - 1; ++i)
-        if (comb >> i & 1) in_u[i] = 1;
       int uv = 0, vu = 0;
-      count_cross(g, in_u, &uv, &vu);
+      count_cross(g, comb, &uv, &vu);
       best = std::min(best, std::min(uv, vu));
       // Gosper's hack: next combination with the same popcount.
       const std::uint64_t c = comb & (~comb + 1);
@@ -313,26 +405,26 @@ int bisection_bandwidth(const DiGraph& g) {
     std::vector<int> perm(n);
     for (int i = 0; i < n; ++i) perm[i] = i;
     rng.shuffle(perm);
-    std::vector<std::uint8_t> in_u(n, 0);
-    for (int i = 0; i < half; ++i) in_u[perm[i]] = 1;
+    std::uint64_t mask = 0;
+    for (int i = 0; i < half; ++i) mask |= 1ULL << perm[i];
     int uv = 0, vu = 0;
-    count_cross(g, in_u, &uv, &vu);
+    count_cross(g, mask, &uv, &vu);
     bool improved = true;
     while (improved) {
       improved = false;
       int usz = half;
       for (int a = 0; a < n && !improved; ++a) {
-        if (!in_u[a]) continue;
+        if (!(mask >> a & 1)) continue;
         for (int b = 0; b < n && !improved; ++b) {
-          if (in_u[b]) continue;
+          if (mask >> b & 1) continue;
           const int before = std::min(uv, vu);
-          flip_node(g, in_u, a, &uv, &vu, &usz);
-          flip_node(g, in_u, b, &uv, &vu, &usz);
+          flip_node(g, mask, a, &uv, &vu, &usz);
+          flip_node(g, mask, b, &uv, &vu, &usz);
           if (std::min(uv, vu) < before) {
             improved = true;
           } else {
-            flip_node(g, in_u, b, &uv, &vu, &usz);
-            flip_node(g, in_u, a, &uv, &vu, &usz);
+            flip_node(g, mask, b, &uv, &vu, &usz);
+            flip_node(g, mask, a, &uv, &vu, &usz);
           }
         }
       }

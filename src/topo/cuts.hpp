@@ -25,6 +25,11 @@ struct Cut {
   double bandwidth = 0.0;     // min(cross_uv, cross_vu) / (|U| * |V|)
 };
 
+// Cross-edge counts {U->V, V->U} for an explicit partition mask, counted
+// word-parallel: per node one AND + popcount against its adjacency bit row
+// (requires n <= 64).
+std::pair<int, int> cross_edge_counts(const DiGraph& g, std::uint64_t u_mask);
+
 // Evaluates B(U,V) for an explicit partition mask.
 Cut evaluate_cut(const DiGraph& g, std::uint64_t u_mask);
 

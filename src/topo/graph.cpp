@@ -9,7 +9,10 @@ namespace netsmith::topo {
 
 DiGraph::DiGraph(int n)
     : n_(n),
+      words_((n + 63) / 64),
       adj_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      out_bits_(static_cast<std::size_t>(n) * words_, 0),
+      in_bits_(static_cast<std::size_t>(n) * words_, 0),
       out_(n),
       in_(n) {
   assert(n >= 0);
@@ -19,6 +22,8 @@ bool DiGraph::add_edge(int i, int j) {
   assert(i >= 0 && i < n_ && j >= 0 && j < n_);
   if (i == j || adj_[idx(i, j)]) return false;
   adj_[idx(i, j)] = 1;
+  out_bits_[bidx(i, j)] |= 1ULL << (j & 63);
+  in_bits_[bidx(j, i)] |= 1ULL << (i & 63);
   out_[i].push_back(j);
   in_[j].push_back(i);
   ++edges_;
@@ -29,6 +34,8 @@ bool DiGraph::remove_edge(int i, int j) {
   assert(i >= 0 && i < n_ && j >= 0 && j < n_);
   if (!adj_[idx(i, j)]) return false;
   adj_[idx(i, j)] = 0;
+  out_bits_[bidx(i, j)] &= ~(1ULL << (j & 63));
+  in_bits_[bidx(j, i)] &= ~(1ULL << (i & 63));
   auto& o = out_[i];
   o.erase(std::find(o.begin(), o.end(), j));
   auto& in = in_[j];

@@ -4,6 +4,13 @@
 // unidirectional link connects router i to router j. Symmetric (full-duplex)
 // links are simply a pair of opposing directed edges; NetSmith counts one
 // full-duplex-equivalent "link" per two directed edges when reporting.
+//
+// Besides the byte matrix and neighbour lists, the graph maintains packed
+// adjacency *bit rows* (one row of ceil(n/64) uint64 words per node, for both
+// out- and in-edges), updated incrementally in add_edge/remove_edge. These
+// back the word-parallel BFS/APSP kernels in topo/metrics and the
+// popcount-based cross-edge counts in topo/cuts: at paper scale (n <= 64) a
+// whole BFS frontier fits in a single machine word.
 
 #include <cstdint>
 #include <string>
@@ -45,6 +52,18 @@ class DiGraph {
   // Raw adjacency row (n bytes, 0/1) for hot loops (cut enumeration).
   const std::uint8_t* row(int i) const { return &adj_[static_cast<std::size_t>(i) * n_]; }
 
+  // --- Packed bit rows (word-parallel kernels) ---------------------------
+  // Words per bit row: ceil(n / 64).
+  int bit_words() const { return words_; }
+  // Out-adjacency bit row of i: bit j set iff edge i -> j.
+  const std::uint64_t* out_bits(int i) const {
+    return &out_bits_[static_cast<std::size_t>(i) * words_];
+  }
+  // In-adjacency bit row of j: bit i set iff edge i -> j.
+  const std::uint64_t* in_bits(int j) const {
+    return &in_bits_[static_cast<std::size_t>(j) * words_];
+  }
+
   bool operator==(const DiGraph& o) const { return n_ == o.n_ && adj_ == o.adj_; }
 
   // Compact textual form "n:i>j,i>j,..." for goldens/serialization.
@@ -56,9 +75,15 @@ class DiGraph {
     return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
            static_cast<std::size_t>(j);
   }
+  std::size_t bidx(int i, int j) const {
+    return static_cast<std::size_t>(i) * words_ +
+           static_cast<std::size_t>(j >> 6);
+  }
   int n_ = 0;
+  int words_ = 0;
   int edges_ = 0;
   std::vector<std::uint8_t> adj_;
+  std::vector<std::uint64_t> out_bits_, in_bits_;
   std::vector<std::vector<int>> out_, in_;
 };
 

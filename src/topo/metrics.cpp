@@ -1,11 +1,165 @@
 #include "topo/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace netsmith::topo {
 
+// --- Word-parallel BFS engine ---------------------------------------------
+
+BitBfs::BitBfs(int n)
+    : n_(n),
+      words_((n + 63) / 64),
+      frontier_(words_, 0),
+      next_(words_, 0),
+      visited_(words_, 0) {}
+
+// Runs a level-synchronous BFS; per_level(level, new_words) is invoked with
+// the freshly reached bitset (already merged into visited) for each level.
+template <class PerLevel>
+void BitBfs::run(const DiGraph& g, int src, bool forward, PerLevel&& per_level) {
+  assert(g.num_nodes() == n_ && g.bit_words() == words_);
+  std::fill(frontier_.begin(), frontier_.end(), 0);
+  std::fill(visited_.begin(), visited_.end(), 0);
+  frontier_[src >> 6] = 1ULL << (src & 63);
+  visited_[src >> 6] = frontier_[src >> 6];
+
+  int level = 0;
+  bool any = true;
+  while (any) {
+    ++level;
+    std::fill(next_.begin(), next_.end(), 0);
+    for (int w = 0; w < words_; ++w) {
+      std::uint64_t m = frontier_[w];
+      while (m) {
+        const int u = (w << 6) + std::countr_zero(m);
+        m &= m - 1;
+        const std::uint64_t* row = forward ? g.out_bits(u) : g.in_bits(u);
+        for (int k = 0; k < words_; ++k) next_[k] |= row[k];
+      }
+    }
+    any = false;
+    for (int w = 0; w < words_; ++w) {
+      next_[w] &= ~visited_[w];
+      if (next_[w]) {
+        visited_[w] |= next_[w];
+        any = true;
+      }
+    }
+    if (any) per_level(level, next_.data());
+    frontier_.swap(next_);
+  }
+}
+
+void BitBfs::distances(const DiGraph& g, int src, int* dist) {
+  std::fill(dist, dist + n_, kUnreachable);
+  dist[src] = 0;
+  if (words_ == 1) {
+    // Single-word fast path (n <= 64): the whole frontier lives in one
+    // register and rows[u] is a direct array load. Each visited node is
+    // extracted exactly once: the same pass that assigns its distance also
+    // ORs its row into the next level's candidate set.
+    const std::uint64_t* rows = g.out_bits(0);
+    std::uint64_t visited = 1ULL << src;
+    std::uint64_t acc = rows[src];  // candidates for the next level
+    int level = 0;
+    for (;;) {
+      std::uint64_t fresh = acc & ~visited;
+      if (!fresh) return;
+      ++level;
+      visited |= fresh;
+      acc = 0;
+      do {
+        const int j = std::countr_zero(fresh);
+        fresh &= fresh - 1;
+        dist[j] = level;
+        acc |= rows[j];
+      } while (fresh);
+    }
+  }
+  run(g, src, /*forward=*/true, [&](int level, const std::uint64_t* fresh) {
+    for (int w = 0; w < words_; ++w) {
+      std::uint64_t m = fresh[w];
+      while (m) {
+        dist[(w << 6) + std::countr_zero(m)] = level;
+        m &= m - 1;
+      }
+    }
+  });
+}
+
+std::int64_t BitBfs::sum_from(const DiGraph& g, int src, int* unreached) {
+  std::int64_t total = 0;
+  int reached = 1;  // src itself
+  if (words_ == 1) {
+    const std::uint64_t* rows = g.out_bits(0);
+    std::uint64_t visited = 1ULL << src;
+    std::uint64_t acc = rows[src];
+    int level = 0;
+    for (;;) {
+      std::uint64_t fresh = acc & ~visited;
+      if (!fresh) break;
+      ++level;
+      visited |= fresh;
+      const int cnt = std::popcount(fresh);
+      total += static_cast<std::int64_t>(level) * cnt;
+      reached += cnt;
+      acc = 0;
+      do {
+        acc |= rows[std::countr_zero(fresh)];
+        fresh &= fresh - 1;
+      } while (fresh);
+    }
+    *unreached = n_ - reached;
+    return total;
+  }
+  run(g, src, /*forward=*/true, [&](int level, const std::uint64_t* fresh) {
+    int cnt = 0;
+    for (int w = 0; w < words_; ++w) cnt += std::popcount(fresh[w]);
+    total += static_cast<std::int64_t>(level) * cnt;
+    reached += cnt;
+  });
+  *unreached = n_ - reached;
+  return total;
+}
+
+int BitBfs::reach_count(const DiGraph& g, int src, bool forward) {
+  int reached = 1;
+  if (words_ == 1) {
+    const std::uint64_t* rows = forward ? g.out_bits(0) : g.in_bits(0);
+    std::uint64_t visited = 1ULL << src;
+    std::uint64_t acc = rows[src];
+    for (;;) {
+      std::uint64_t fresh = acc & ~visited;
+      if (!fresh) break;
+      visited |= fresh;
+      acc = 0;
+      do {
+        acc |= rows[std::countr_zero(fresh)];
+        fresh &= fresh - 1;
+      } while (fresh);
+    }
+    return std::popcount(visited);
+  }
+  run(g, src, forward, [&](int, const std::uint64_t* fresh) {
+    for (int w = 0; w < words_; ++w) reached += std::popcount(fresh[w]);
+  });
+  return reached;
+}
+
+// --- Free functions -------------------------------------------------------
+
 std::vector<int> bfs_distances(const DiGraph& g, int src) {
+  const int n = g.num_nodes();
+  std::vector<int> dist(n, kUnreachable);
+  if (n == 0) return dist;
+  BitBfs bfs(n);
+  bfs.distances(g, src, dist.data());
+  return dist;
+}
+
+std::vector<int> bfs_distances_scalar(const DiGraph& g, int src) {
   const int n = g.num_nodes();
   std::vector<int> dist(n, kUnreachable);
   std::vector<int> queue;
@@ -28,8 +182,16 @@ std::vector<int> bfs_distances(const DiGraph& g, int src) {
 util::Matrix<int> apsp_bfs(const DiGraph& g) {
   const int n = g.num_nodes();
   util::Matrix<int> d(n, n, 0);
+  BitBfs bfs(n);
+  for (int s = 0; s < n; ++s) bfs.distances(g, s, &d(s, 0));
+  return d;
+}
+
+util::Matrix<int> apsp_bfs_scalar(const DiGraph& g) {
+  const int n = g.num_nodes();
+  util::Matrix<int> d(n, n, 0);
   for (int s = 0; s < n; ++s) {
-    const auto row = bfs_distances(g, s);
+    const auto row = bfs_distances_scalar(g, s);
     for (int t = 0; t < n; ++t) d(s, t) = row[t];
   }
   return d;
@@ -85,12 +247,11 @@ int diameter(const DiGraph& g) { return diameter(apsp_bfs(g)); }
 bool strongly_connected(const DiGraph& g) {
   const int n = g.num_nodes();
   if (n == 0) return true;
-  auto reaches_all = [n](const std::vector<int>& dist) {
-    return std::all_of(dist.begin(), dist.end(),
-                       [](int d) { return d < kUnreachable; });
-  };
-  if (!reaches_all(bfs_distances(g, 0))) return false;
-  return reaches_all(bfs_distances(g.reversed(), 0));
+  // Forward reachability over out-rows, backward over in-rows: no reversed()
+  // graph materialization.
+  BitBfs bfs(n);
+  if (bfs.reach_count(g, 0, /*forward=*/true) < n) return false;
+  return bfs.reach_count(g, 0, /*forward=*/false) == n;
 }
 
 double weighted_hops(const util::Matrix<int>& dist, const util::Matrix<double>& weight) {

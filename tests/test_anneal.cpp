@@ -106,6 +106,56 @@ TEST(Anneal, DeterministicForSeed) {
   EXPECT_NEAR(a.objective_value, b.objective_value, 0.15);
 }
 
+// With a per-restart move budget the schedule is move-driven, so a fixed
+// seed must reproduce the incumbent bit-exactly at any thread count: the
+// parallel best-of reduction walks restarts in index order with the same
+// strictly-better rule as the serial loop.
+TEST(Anneal, ParallelRestartsBitExactLatOp) {
+  auto cfg = small_cfg(Objective::kLatOp);
+  cfg.restarts = 4;
+  AnnealOptions serial;
+  serial.threads = 1;
+  serial.max_moves = 3000;
+  AnnealOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = anneal_synthesize(cfg, serial);
+  const auto b = anneal_synthesize(cfg, parallel);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+TEST(Anneal, ParallelRestartsBitExactScop) {
+  auto cfg = small_cfg(Objective::kSCOp);
+  cfg.restarts = 3;
+  AnnealOptions serial;
+  serial.threads = 1;
+  serial.max_moves = 1500;
+  AnnealOptions parallel = serial;
+  parallel.threads = 3;
+  const auto a = anneal_synthesize(cfg, serial);
+  const auto b = anneal_synthesize(cfg, parallel);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+}
+
+// Move-budgeted runs are reproducible run-to-run (not just across thread
+// counts): same seed, same graph.
+TEST(Anneal, MoveBudgetDeterministicAcrossRuns) {
+  auto cfg = small_cfg(Objective::kLatOp);
+  cfg.restarts = 2;
+  AnnealOptions opts;
+  opts.max_moves = 2000;
+  const auto a = anneal_synthesize(cfg, opts);
+  const auto b = anneal_synthesize(cfg, opts);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+}
+
 TEST(Anneal, FillsPortBudgetOnLargerInstance) {
   SynthesisConfig cfg;
   cfg.layout = topo::Layout::noi_4x5();

@@ -1,0 +1,169 @@
+// Randomized property tests for the word-parallel kernels: bitset BFS/APSP
+// must agree with the scalar queue-based implementation, and popcount-based
+// cross-edge counts must agree with a scalar membership scan, on hundreds of
+// random graphs. Sizes straddle the one-word boundary (n = 65, 130 need
+// multi-word bit rows).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "topo/cuts.hpp"
+#include "topo/graph.hpp"
+#include "topo/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::topo {
+namespace {
+
+// Random digraph with ~p edge density (no layout constraints: the kernels
+// are pure graph code).
+DiGraph random_graph(int n, double p, util::Rng& rng) {
+  DiGraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j && rng.bernoulli(p)) g.add_edge(i, j);
+  return g;
+}
+
+// Scalar oracle for cross-edge counts (the pre-bitset implementation).
+std::pair<int, int> cross_counts_scalar(const DiGraph& g, std::uint64_t mask) {
+  int uv = 0, vu = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const bool ui = mask >> i & 1;
+    for (int j : g.out_neighbors(i)) {
+      const bool uj = mask >> j & 1;
+      if (ui && !uj) ++uv;
+      else if (!ui && uj) ++vu;
+    }
+  }
+  return {uv, vu};
+}
+
+class BitsetKernels : public ::testing::TestWithParam<int> {};
+
+// 4 sizes x 60 graphs = 240 random graphs; densities span disconnected,
+// sparse-connected and dense regimes.
+TEST_P(BitsetKernels, ApspMatchesScalar) {
+  const int n = GetParam();
+  util::Rng rng(0xA11CE + n);
+  const double densities[] = {1.5 / n, 4.0 / n, 0.3};
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto g = random_graph(n, densities[iter % 3], rng);
+    const auto bitset = apsp_bfs(g);
+    const auto scalar = apsp_bfs_scalar(g);
+    ASSERT_EQ(bitset, scalar) << "n=" << n << " iter=" << iter;
+    ASSERT_EQ(diameter(bitset), diameter(scalar));
+    // strongly_connected (bitset reachability) vs the scalar distances.
+    bool scalar_sc = n > 0;
+    for (int s = 0; s < n && scalar_sc; s += n - 1) {  // s = 0 and s = n-1
+      for (int t = 0; t < n; ++t)
+        if (scalar(s, t) >= kUnreachable || scalar(t, s) >= kUnreachable) {
+          scalar_sc = false;
+          break;
+        }
+    }
+    ASSERT_EQ(strongly_connected(g), scalar_sc) << "n=" << n << " iter=" << iter;
+  }
+}
+
+TEST_P(BitsetKernels, SingleSourceMatchesScalar) {
+  const int n = GetParam();
+  util::Rng rng(0xB0B + n);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto g = random_graph(n, 3.0 / n, rng);
+    const int src = static_cast<int>(rng.uniform_int(0, n - 1));
+    ASSERT_EQ(bfs_distances(g, src), bfs_distances_scalar(g, src));
+  }
+}
+
+// Incremental maintenance: after interleaved add/remove churn, the bit rows
+// must agree bit-for-bit with the byte adjacency matrix.
+TEST_P(BitsetKernels, BitRowsTrackEdgeChurn) {
+  const int n = GetParam();
+  util::Rng rng(0xC4A0 + n);
+  DiGraph g(n);
+  for (int op = 0; op < 2000; ++op) {
+    const int i = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int j = static_cast<int>(rng.uniform_int(0, n - 1));
+    if (rng.bernoulli(0.6)) g.add_edge(i, j);
+    else g.remove_edge(i, j);
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const bool bit = g.out_bits(i)[j >> 6] >> (j & 63) & 1;
+      const bool inbit = g.in_bits(j)[i >> 6] >> (i & 63) & 1;
+      ASSERT_EQ(bit, g.has_edge(i, j)) << i << "->" << j;
+      ASSERT_EQ(inbit, g.has_edge(i, j)) << i << "->" << j;
+    }
+  // And the kernels still agree after churn.
+  ASSERT_EQ(apsp_bfs(g), apsp_bfs_scalar(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundary, BitsetKernels,
+                         ::testing::Values(7, 48, 65, 130));
+
+// Popcount cross-edge counts vs scalar scan. Masks are capped at 64 bits, so
+// sizes stay within one word (the cut API's own limit).
+class PopcountCuts : public ::testing::TestWithParam<int> {};
+
+TEST_P(PopcountCuts, CrossEdgeCountsMatchScalar) {
+  const int n = GetParam();
+  util::Rng rng(0xD1CE + n);
+  const std::uint64_t width = n >= 64 ? ~0ULL : (1ULL << n) - 1;
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto g = random_graph(n, iter % 2 ? 0.3 : 4.0 / n, rng);
+    for (int m = 0; m < 8; ++m) {
+      const std::uint64_t mask = rng.next() & width;
+      ASSERT_EQ(cross_edge_counts(g, mask), cross_counts_scalar(g, mask))
+          << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST_P(PopcountCuts, EvaluateCutConsistent) {
+  const int n = GetParam();
+  util::Rng rng(0xE4A + n);
+  const std::uint64_t width = n >= 64 ? ~0ULL : (1ULL << n) - 1;
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto g = random_graph(n, 0.2, rng);
+    const std::uint64_t mask = rng.next() & width;
+    const auto c = evaluate_cut(g, mask);
+    const auto [uv, vu] = cross_counts_scalar(g, mask);
+    EXPECT_EQ(c.cross_uv, uv);
+    EXPECT_EQ(c.cross_vu, vu);
+    if (c.u_size > 0 && c.u_size < n)
+      EXPECT_NEAR(c.bandwidth,
+                  static_cast<double>(std::min(uv, vu)) /
+                      (static_cast<double>(c.u_size) * (n - c.u_size)),
+                  1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OneWord, PopcountCuts, ::testing::Values(7, 48));
+
+// The exact enumerator (Gray-code walk + incremental popcount flips) must
+// find the true optimum found by brute force over all masks.
+TEST(PopcountCutsExact, MatchesBruteForce) {
+  util::Rng rng(0xF00D);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = 6 + iter % 4;  // 6..9
+    const auto g = random_graph(n, 0.35, rng);
+    const auto best = sparsest_cut_exact(g);
+    double brute = std::numeric_limits<double>::infinity();
+    for (std::uint64_t mask = 1; mask < (1ULL << n) - 1; ++mask) {
+      const auto [uv, vu] = cross_counts_scalar(g, mask);
+      const int usz = std::popcount(mask);
+      brute = std::min(brute, static_cast<double>(std::min(uv, vu)) /
+                                  (static_cast<double>(usz) * (n - usz)));
+    }
+    EXPECT_NEAR(best.bandwidth, brute, 1e-12) << "iter=" << iter;
+  }
+}
+
+}  // namespace
+}  // namespace netsmith::topo
