@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace netsmith;
 
@@ -16,6 +17,7 @@ namespace {
 
 void run_kind(sim::TrafficKind kind, const char* title) {
   std::printf("== Fig. 6%s ==\n", title);
+  util::WallTimer timer;
   util::TablePrinter table({"class", "topology", "lat@0 (ns)",
                             "saturation (pkt/node/ns)"});
   const auto cat = topologies::catalog(20);
@@ -39,7 +41,7 @@ void run_kind(sim::TrafficKind kind, const char* title) {
     std::printf("\n");
   }
   table.print(std::cout);
-  std::printf("\n");
+  std::printf("[%.1f s of adaptive sweeps]\n\n", timer.seconds());
 }
 
 }  // namespace

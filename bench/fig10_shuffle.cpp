@@ -12,12 +12,14 @@
 #include "sim/sweep.hpp"
 #include "topologies/expert.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace netsmith;
 
 int main() {
   std::printf(
       "NetSmith reproduction — Fig. 10 (shuffle traffic, 20-router NoIs)\n\n");
+  util::WallTimer timer;
 
   util::TablePrinter table({"class", "topology", "lat@0 (ns)",
                             "saturation (pkt/node/ns)"});
@@ -59,6 +61,7 @@ int main() {
   }
 
   table.print(std::cout);
+  std::printf("[%.1f s of adaptive sweeps]\n", timer.seconds());
   std::printf(
       "\nExpected shape (paper Fig. 10): topologies optimized for uniform\n"
       "random vary in shuffle performance; the NS-ShufOpt rows beat every\n"

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "sim/sweep.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace netsmith;
 
@@ -22,6 +23,7 @@ int main() {
 
   util::TablePrinter table({"class", "topology", "lat@0 (ns)",
                             "saturation (pkt/node/ns)"});
+  util::WallTimer timer;
 
   for (const auto& t : bench::with_baselines(topologies::catalog_48(), 48)) {
     const auto plan = core::plan_network(t.graph, t.layout,
@@ -37,6 +39,7 @@ int main() {
                    util::TablePrinter::fmt(sweep.saturation_pkt_node_ns, 4)});
   }
   table.print(std::cout);
+  std::printf("[%.1f s of adaptive sweeps]\n", timer.seconds());
   std::printf(
       "\nExpected shape (paper Fig. 11): NS topologies beat every scalable\n"
       "legacy design in saturation throughput across all three classes,\n"

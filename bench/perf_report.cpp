@@ -4,10 +4,17 @@
 // successive PRs can track the numbers.
 //
 // Usage: perf_report [--smoke] [--out PATH] [--min-apsp-speedup X]
+//                    [--min-sim-speedup X]
 //   --smoke              short budgets (CI-friendly, ~10 s total)
 //   --out PATH           output JSON path (default: BENCH_perf.json in cwd)
 //   --min-apsp-speedup X exit non-zero if bitset/scalar APSP speedup < X,
 //                        so CI fails loudly on kernel regressions
+//   --min-sim-speedup X  exit non-zero if the activity-driven simulator is
+//                        not at least X times the reference full scan
+//
+// Speedups are measured as in-process ratios (optimized and reference runs
+// interleaved in the same process), so they stay meaningful on a noisy
+// 1-core CI runner where absolute throughput numbers drift with load.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +55,8 @@ struct Report {
   double cut_exact20_ms = 0.0;
   double cut_heuristic48_ms = 0.0;
   double sim_cycles_per_sec = 0.0;
+  double sim_ref_cycles_per_sec = 0.0;
+  double sim_speedup = 0.0;
 };
 
 void write_json(const Report& r, const std::string& path) {
@@ -73,7 +82,10 @@ void write_json(const Report& r, const std::string& path) {
   std::fprintf(f, "    \"heuristic_n48_ms\": %.3f\n", r.cut_heuristic48_ms);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"sim\": {\n");
-  std::fprintf(f, "    \"cycles_per_sec\": %.1f\n", r.sim_cycles_per_sec);
+  std::fprintf(f, "    \"cycles_per_sec\": %.1f,\n", r.sim_cycles_per_sec);
+  std::fprintf(f, "    \"reference_cycles_per_sec\": %.1f,\n",
+               r.sim_ref_cycles_per_sec);
+  std::fprintf(f, "    \"speedup\": %.2f\n", r.sim_speedup);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -85,14 +97,17 @@ int main(int argc, char** argv) {
   Report rep;
   std::string out = "BENCH_perf.json";
   double min_apsp_speedup = 0.0;
+  double min_sim_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) rep.smoke = true;
     else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out = argv[++i];
     else if (!std::strcmp(argv[i], "--min-apsp-speedup") && i + 1 < argc)
       min_apsp_speedup = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--min-sim-speedup") && i + 1 < argc)
+      min_sim_speedup = std::atof(argv[++i]);
     else {
       std::fprintf(stderr, "usage: perf_report [--smoke] [--out PATH] "
-                           "[--min-apsp-speedup X]\n");
+                           "[--min-apsp-speedup X] [--min-sim-speedup X]\n");
       return 2;
     }
   }
@@ -150,41 +165,63 @@ int main(int argc, char** argv) {
         r.moves > 0 ? static_cast<double>(r.accepted) / r.moves : 0.0;
   }
 
-  // --- Simulator cycle throughput (folded torus, MCLB, coherence). --------
+  // --- Simulator cycle throughput: activity-driven vs reference scan. -----
+  // Low-rate point (the regime that dominates every injection sweep's
+  // wall-clock), folded torus, MCLB, coherence. Runs of the two modes are
+  // interleaved so machine-load noise cancels out of the ratio.
   {
     const auto lay = topo::Layout::noi_4x5();
     const auto plan = core::plan_network(topo::build_folded_torus(lay), lay,
                                          core::RoutingPolicy::kMclb, 6);
     sim::TrafficConfig t;
     t.kind = sim::TrafficKind::kCoherence;
-    t.injection_rate = 0.05;
+    t.injection_rate = 0.02;
     sim::SimConfig cfg;
     cfg.warmup = 500;
     cfg.measure = 2000;
     cfg.drain = 2000;
-    const long cycles_per_run = cfg.warmup + cfg.measure + cfg.drain;
-    util::WallTimer timer;
-    long runs = 0;
+    util::WallTimer total;
+    double opt_s = 0.0, ref_s = 0.0;
+    long opt_cycles = 0, ref_cycles = 0;
     do {
-      volatile auto acc = sim::simulate(plan, t, cfg).accepted;
-      (void)acc;
-      ++runs;
-    } while (timer.seconds() < (rep.smoke ? 0.5 : 2.0));
-    rep.sim_cycles_per_sec =
-        static_cast<double>(runs * cycles_per_run) / timer.seconds();
+      {
+        sim::SimConfig c = cfg;
+        util::WallTimer w;
+        opt_cycles += sim::simulate(plan, t, c).cycles_run;
+        opt_s += w.seconds();
+      }
+      {
+        sim::SimConfig c = cfg;
+        c.reference_mode = true;
+        util::WallTimer w;
+        ref_cycles += sim::simulate(plan, t, c).cycles_run;
+        ref_s += w.seconds();
+      }
+    } while (total.seconds() < (rep.smoke ? 1.0 : 4.0));
+    rep.sim_cycles_per_sec = static_cast<double>(opt_cycles) / opt_s;
+    rep.sim_ref_cycles_per_sec = static_cast<double>(ref_cycles) / ref_s;
+    rep.sim_speedup = rep.sim_cycles_per_sec / rep.sim_ref_cycles_per_sec;
   }
 
   write_json(rep, out);
   std::printf("perf_report%s: anneal %.0f moves/s | apsp48 %.0f ns (scalar "
-              "%.0f ns, %.2fx) | cut20 %.2f ms | sim %.2e cyc/s -> %s\n",
+              "%.0f ns, %.2fx) | cut20 %.2f ms | sim %.2e cyc/s (ref %.2e, "
+              "%.2fx) -> %s\n",
               rep.smoke ? " [smoke]" : "", rep.anneal_moves_per_sec,
               rep.apsp48_bitset_ns, rep.apsp48_scalar_ns, rep.apsp48_speedup,
-              rep.cut_exact20_ms, rep.sim_cycles_per_sec, out.c_str());
+              rep.cut_exact20_ms, rep.sim_cycles_per_sec,
+              rep.sim_ref_cycles_per_sec, rep.sim_speedup, out.c_str());
 
   if (min_apsp_speedup > 0.0 && rep.apsp48_speedup < min_apsp_speedup) {
     std::fprintf(stderr,
                  "perf_report: APSP bitset speedup %.2fx below required %.2fx\n",
                  rep.apsp48_speedup, min_apsp_speedup);
+    return 1;
+  }
+  if (min_sim_speedup > 0.0 && rep.sim_speedup < min_sim_speedup) {
+    std::fprintf(stderr,
+                 "perf_report: simulator speedup %.2fx below required %.2fx\n",
+                 rep.sim_speedup, min_sim_speedup);
     return 1;
   }
   return 0;

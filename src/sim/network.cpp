@@ -1,7 +1,10 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cmath>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <queue>
@@ -17,6 +20,20 @@ namespace netsmith::sim {
 
 namespace {
 
+// Activity-driven flit simulator. The per-cycle loop touches only
+//  (a) channels with a flit arriving now (per-channel arrival min-heap),
+//  (b) routers in the active set (any buffered input flit or queued source
+//      packet; re-armed on arrival/injection, retired when both drain), and
+//  (c) sources whose pre-sampled geometric injection gap expires now.
+// Idle routers and idle sources therefore cost zero work per cycle, which is
+// the common case over the low-rate half of every injection sweep.
+//
+// cfg.reference_mode keeps the original full-scan loop (every router, every
+// output, every cycle; per-cycle linear scan of the injection schedule) as a
+// bit-exact oracle: skipping a router with no buffered flits and no queued
+// packets is a no-op (round-robin pointers only move on grants), and routers
+// are visited in ascending index order in both modes, so instantaneous
+// credit returns are observed identically.
 class Simulator {
  public:
   Simulator(const core::NetworkPlan& plan, const TrafficConfig& traffic,
@@ -27,22 +44,31 @@ class Simulator {
     sources_.resize(n_);
     eject_rr_.assign(n_, 0);
     last_input_pop_.assign(channels_.size(), -1);
+    in_buffered_.assign(n_, 0);
+    active_words_.assign((static_cast<std::size_t>(n_) + 63) / 64, 0);
     prepare_traffic();
+    schedule_initial_injections();
   }
 
   SimStats run() {
     const long horizon = cfg_.warmup + cfg_.measure + cfg_.drain;
     const long window_end = cfg_.warmup + cfg_.measure;
 
+    stats_.cycles_run = horizon;
     for (long cycle = 0; cycle < horizon; ++cycle) {
       deliver_arrivals(cycle);
-      switch_allocation(cycle);
+      if (cfg_.reference_mode)
+        switch_all(cycle);
+      else
+        switch_active(cycle);
       if (cycle < window_end) generate_traffic(cycle);
       if (cycle == window_end - 1) record_backlog();
       // Early exit once every tagged packet has drained.
       if (cycle >= window_end && stats_.tagged_completed == stats_.tagged_injected &&
-          stats_.tagged_injected > 0 && pending_replies_ == 0)
+          stats_.tagged_injected > 0 && pending_replies_ == 0) {
+        stats_.cycles_run = cycle + 1;
         break;
+      }
     }
 
     stats_.offered = traffic_.injection_rate;
@@ -58,6 +84,7 @@ class Simulator {
             ? static_cast<double>(stats_.tagged_completed) / stats_.tagged_injected
             : 1.0;
     stats_.saturated = stats_.mean_source_backlog > 4.0 || drained < 0.95;
+    record_residuals();
     return stats_;
   }
 
@@ -75,6 +102,7 @@ class Simulator {
       if (cfg_.extra_edge_delay.rows() == static_cast<std::size_t>(n_))
         ch.latency += cfg_.extra_edge_delay(u, v);
       ch.init(cfg_.num_vcs, cfg_.buf_flits);
+      ch.k_at_dst = static_cast<int>(in_edges_[v].size());
       const int id = static_cast<int>(channels_.size());
       edge_id_[static_cast<std::size_t>(u) * n_ + v] = id;
       out_edges_[u].push_back(id);
@@ -82,6 +110,13 @@ class Simulator {
       channels_.push_back(std::move(ch));
     }
     out_rr_.assign(channels_.size(), 0);
+    // Per-router occupancy bitmask over (input k, vc) slots, so arbitration
+    // visits only non-empty slots. Usable when every slot index — including
+    // the injection input at k == in_degree — fits in one word.
+    buf_mask_.assign(n_, 0);
+    mask_ok_.resize(n_);
+    for (int u = 0; u < n_; ++u)
+      mask_ok_[u] = (in_edges_[u].size() + 1) * cfg_.num_vcs <= 64;
   }
 
   void prepare_traffic() {
@@ -107,6 +142,36 @@ class Simulator {
   }
 
   // --- Traffic generation -------------------------------------------------
+  // Per-source Bernoulli(p) injection, sampled as geometric inter-arrival
+  // gaps: one RNG draw per injected packet instead of one per source per
+  // cycle, so idle sources cost nothing. Both modes share the sampler (and
+  // hence the RNG stream); they differ only in how due sources are found
+  // (reference: linear scan of next_inject_; optimized: (cycle, idx) min-heap,
+  // which pops equal-cycle entries in ascending source order — the same order
+  // the linear scan visits them).
+  void schedule_initial_injections() {
+    const long window_end = cfg_.warmup + cfg_.measure;
+    next_inject_.assign(active_sources_.size(), window_end);
+    if (traffic_.injection_rate <= 0.0) return;
+    for (std::size_t i = 0; i < active_sources_.size(); ++i) {
+      next_inject_[i] = next_injection_after(-1);
+      if (!cfg_.reference_mode && next_inject_[i] < window_end)
+        inject_heap_.emplace(next_inject_[i], static_cast<int>(i));
+    }
+  }
+
+  // First Bernoulli(p) success strictly after `cycle` (inverse-CDF geometric
+  // sampling), clamped to the horizon.
+  long next_injection_after(long cycle) {
+    const double p = traffic_.injection_rate;
+    if (p >= 1.0) return cycle + 1;
+    const double gap =
+        1.0 + std::floor(std::log1p(-rng_.uniform()) / std::log1p(-p));
+    const long horizon = cfg_.warmup + cfg_.measure + cfg_.drain;
+    const double next = static_cast<double>(cycle) + gap;
+    return next >= static_cast<double>(horizon) ? horizon : static_cast<long>(next);
+  }
+
   int pick_dest(int src) {
     switch (traffic_.kind) {
       case TrafficKind::kCoherence: {
@@ -130,9 +195,11 @@ class Simulator {
         const auto& c = cum_[src];
         if (c.empty()) return -1;
         const double r = rng_.uniform() * c.back().first;
-        for (const auto& [acc, d] : c)
-          if (r <= acc) return d == src ? -1 : d;
-        return c.back().second == src ? -1 : c.back().second;
+        const auto it = std::lower_bound(
+            c.begin(), c.end(), r,
+            [](const std::pair<double, int>& e, double v) { return e.first < v; });
+        const int d = it == c.end() ? c.back().second : it->second;
+        return d == src ? -1 : d;
       }
     }
     return -1;
@@ -148,34 +215,67 @@ class Simulator {
   Packet* make_packet(int src, int dst, int flits, long cycle, bool request) {
     const int vc = plan_.vc_map.vc[static_cast<std::size_t>(src) * n_ + dst];
     if (vc < 0) return nullptr;  // no route (shouldn't happen when connected)
-    arena_.emplace_back();
-    Packet* p = &arena_.back();
+    Packet* p;
+    if (!freelist_.empty()) {
+      p = freelist_.back();
+      freelist_.pop_back();
+      *p = Packet{};
+    } else {
+      arena_.emplace_back();
+      p = &arena_.back();
+    }
     p->id = next_id_++;
     p->src = src;
     p->dst = dst;
     p->flits = flits;
     p->vc = vc;
+    p->src_next = plan_.table.next_hop(src, src, dst);
     p->inject_cycle = cycle;
     p->tagged = cycle >= cfg_.warmup && cycle < cfg_.warmup + cfg_.measure;
     p->is_request = request;
     return p;
   }
 
+  void inject_from(int idx, long cycle) {
+    const int s = active_sources_[idx];
+    const int d = pick_dest(s);
+    if (d < 0) return;
+    const bool request = traffic_.kind == TrafficKind::kMemory ||
+                         (traffic_.kind == TrafficKind::kCustom &&
+                          traffic_.custom_reply);
+    Packet* p = make_packet(s, d, packet_size(request), cycle, request);
+    if (!p) return;
+    sources_[s].packets.push_back(p);
+    activate(s);
+    ++stats_.total_injected;
+    if (p->tagged) ++stats_.tagged_injected;
+    if (p->is_request) ++pending_replies_;
+  }
+
   void generate_traffic(long cycle) {
-    for (int s : active_sources_) {
-      if (!rng_.bernoulli(traffic_.injection_rate)) continue;
-      const int d = pick_dest(s);
-      if (d < 0) continue;
-      const bool request = traffic_.kind == TrafficKind::kMemory ||
-                           (traffic_.kind == TrafficKind::kCustom &&
-                            traffic_.custom_reply);
-      Packet* p = make_packet(s, d, packet_size(request), cycle, request);
-      if (!p) continue;
-      sources_[s].packets.push_back(p);
-      ++stats_.total_injected;
-      if (p->tagged) ++stats_.tagged_injected;
-      if (p->is_request) ++pending_replies_;
+    if (traffic_.injection_rate <= 0.0) return;
+    if (cfg_.reference_mode) {
+      for (std::size_t i = 0; i < active_sources_.size(); ++i) {
+        if (next_inject_[i] != cycle) continue;
+        inject_from(static_cast<int>(i), cycle);
+        next_inject_[i] = next_injection_after(cycle);
+      }
+      return;
     }
+    const long window_end = cfg_.warmup + cfg_.measure;
+    while (!inject_heap_.empty() && inject_heap_.top().first <= cycle) {
+      const int i = inject_heap_.top().second;
+      inject_heap_.pop();
+      inject_from(i, cycle);
+      const long next = next_injection_after(cycle);
+      next_inject_[static_cast<std::size_t>(i)] = next;
+      if (next < window_end) inject_heap_.emplace(next, i);
+    }
+  }
+
+  // --- Active set ----------------------------------------------------------
+  void activate(int u) {
+    active_words_[static_cast<std::size_t>(u) >> 6] |= 1ULL << (u & 63);
   }
 
   // --- Flit movement -------------------------------------------------------
@@ -183,29 +283,57 @@ class Simulator {
   // min-heap holds one (earliest in-flight arrival, channel) entry per
   // channel with flits on the wire. Per-channel arrivals are monotone (FIFO
   // wire, fixed latency), so the invariant "in the heap iff flight
-  // non-empty" survives pops and re-arms.
+  // non-empty" survives pops and re-arms. Every delivery re-arms the
+  // downstream router's active bit.
   void deliver_arrivals(long cycle) {
     while (!arrival_heap_.empty() && arrival_heap_.top().first <= cycle) {
       const int id = arrival_heap_.top().second;
       arrival_heap_.pop();
       Channel& ch = channels_[id];
-      while (!ch.flight.empty() && ch.flight.front().arrive <= cycle) {
-        auto& f = ch.flight.front();
-        ch.in_buf[f.vc].push_back(f.flit);
-        ch.flight.pop_front();
+      while (!ch.wire_empty() && ch.wire_front().arrive <= cycle) {
+        const InFlight& f = ch.wire_front();
+        ch.push(f.vc, f.flit);
+        if (mask_ok_[ch.dst])
+          buf_mask_[ch.dst] |=
+              1ULL << (ch.k_at_dst * cfg_.num_vcs + f.vc);
+        ch.wire_pop();
+        ++in_buffered_[ch.dst];
       }
-      if (!ch.flight.empty())
-        arrival_heap_.emplace(ch.flight.front().arrive, id);
+      activate(ch.dst);
+      if (!ch.wire_empty())
+        arrival_heap_.emplace(ch.wire_front().arrive, id);
     }
   }
 
-  // Input sources of router u are its in-edges plus the injection queue
-  // (index == in_edges_[u].size()).
-  void switch_allocation(long cycle) {
+  void switch_router(int u, long cycle) {
+    ejection(u, cycle);
+    for (int eid : out_edges_[u]) arbitrate_output(u, eid, cycle);
+  }
+
+  // Reference mode: visit every router every cycle, ascending.
+  void switch_all(long cycle) {
     current_cycle_ = cycle;
-    for (int u = 0; u < n_; ++u) {
-      ejection(u, cycle);
-      for (int eid : out_edges_[u]) arbitrate_output(u, eid, cycle);
+    for (int u = 0; u < n_; ++u) switch_router(u, cycle);
+  }
+
+  // Optimized mode: visit only active routers, still in ascending order (the
+  // word loop re-reads active_words_[w] so a router activated mid-cycle by an
+  // earlier router — a reply enqueued at an ejecting node — is still visited
+  // this cycle, exactly as the full scan would). A router retires from the
+  // set only when it holds no buffered flit and no queued source packet;
+  // anything blocked on credits or bandwidth stays in.
+  void switch_active(long cycle) {
+    current_cycle_ = cycle;
+    for (std::size_t w = 0; w < active_words_.size(); ++w) {
+      std::uint64_t done = 0;
+      while (std::uint64_t pending = active_words_[w] & ~done) {
+        const int bit = std::countr_zero(pending);
+        done |= 1ULL << bit;
+        const int u = static_cast<int>(w << 6) + bit;
+        switch_router(u, cycle);
+        if (in_buffered_[u] == 0 && sources_[u].packets.empty())
+          active_words_[w] &= ~(1ULL << bit);
+      }
     }
   }
 
@@ -213,8 +341,8 @@ class Simulator {
   Flit* peek(int u, std::size_t k, int vc) {
     const auto& ins = in_edges_[u];
     if (k < ins.size()) {
-      auto& buf = channels_[ins[k]].in_buf[vc];
-      return buf.empty() ? nullptr : &buf.front();
+      Channel& ch = channels_[ins[k]];
+      return ch.empty(vc) ? nullptr : &ch.front(vc);
     }
     // Injection source: synthesize the next flit view of the head packet.
     auto& sq = sources_[u];
@@ -224,6 +352,7 @@ class Simulator {
     inject_view_.pkt = p;
     inject_view_.head = p->flits_sent == 0;
     inject_view_.tail = p->flits_sent == p->flits - 1;
+    inject_view_.next = p->src_next;
     return &inject_view_;
   }
 
@@ -231,13 +360,17 @@ class Simulator {
     const auto& ins = in_edges_[u];
     if (k < ins.size()) {
       Channel& ch = channels_[ins[k]];
-      ch.in_buf[vc].pop_front();
+      ch.pop(vc);
+      if (ch.empty(vc) && mask_ok_[u])
+        buf_mask_[u] &= ~(1ULL << (ch.k_at_dst * cfg_.num_vcs + vc));
       ++ch.credits[vc];  // instantaneous credit return (simplification)
+      --in_buffered_[u];
       last_input_pop_[ins[k]] = cycle;
     } else {
       auto& sq = sources_[u];
       Packet* p = sq.packets.front();
       ++p->flits_sent;
+      ++flits_injected_;
       if (sq.bw_cycle != cycle) {
         sq.bw_cycle = cycle;
         sq.flits_this_cycle = 0;
@@ -264,33 +397,63 @@ class Simulator {
     const std::size_t slots = num_inputs * cfg_.num_vcs;
     int& rr = out_rr_[eid];
 
-    for (std::size_t step = 0; step < slots; ++step) {
-      const std::size_t slot = (rr + step) % slots;
+    // Returns true when the slot wins the output this cycle.
+    const auto try_slot = [&](std::size_t slot) {
       const std::size_t k = slot / cfg_.num_vcs;
       const int vc = static_cast<int>(slot % cfg_.num_vcs);
-      if (!input_port_free(u, k, cycle)) continue;
+      if (!input_port_free(u, k, cycle)) return false;
       Flit* f = peek(u, k, vc);
-      if (!f) continue;
+      if (!f) return false;
       Packet* p = f->pkt;
-      if (p->dst == u) continue;  // belongs to the ejection port
-      const int next = plan_.table.next_hop(u, p->src, p->dst);
-      if (next != out.dst) continue;
+      if (cfg_.reference_mode) {
+        // Oracle: route from the table per candidate, as the original scan
+        // did. f->next caches exactly this lookup (-1 when p->dst == u).
+        if (p->dst == u) return false;  // belongs to the ejection port
+        if (plan_.table.next_hop(u, p->src, p->dst) != out.dst) return false;
+      } else if (f->next != out.dst) {
+        return false;
+      }
       // Wormhole VC allocation + credit check.
-      if (out.owner[vc] != nullptr && out.owner[vc] != p) continue;
-      if (out.owner[vc] == nullptr && !f->head) continue;
-      if (out.credits[vc] <= 0) continue;
+      if (out.owner[vc] != nullptr && out.owner[vc] != p) return false;
+      if (out.owner[vc] == nullptr && !f->head) return false;
+      if (out.credits[vc] <= 0) return false;
 
-      // Grant.
+      // Grant: route the flit for its next router once, here.
       Flit sent = *f;
+      sent.next = p->dst == out.dst
+                      ? -1
+                      : plan_.table.next_hop(out.dst, p->src, p->dst);
       pop(u, k, vc, cycle);
       --out.credits[vc];
       out.owner[vc] = sent.tail ? nullptr : p;
-      if (out.flight.empty())
+      if (out.wire_empty())
         arrival_heap_.emplace(cycle + out.latency, eid);
-      out.flight.push_back({cycle + out.latency, sent, vc});
+      out.wire_push({cycle + out.latency, sent, vc});
       rr = static_cast<int>((slot + 1) % slots);
-      return;  // one flit per output per cycle
+      return true;  // one flit per output per cycle
+    };
+
+    if (!cfg_.reference_mode && mask_ok_[u]) {
+      // Visit only occupied slots, in the same cyclic order the full scan
+      // uses — empty slots can never be granted, so grants (and hence the
+      // round-robin pointer) are identical.
+      std::uint64_t m = buf_mask_[u];
+      const auto& sq = sources_[u];
+      if (!sq.packets.empty())
+        m |= 1ULL << (in_edges_[u].size() * cfg_.num_vcs +
+                      sq.packets.front()->vc);
+      if (m == 0) return;
+      const std::uint64_t below_rr = (1ULL << rr) - 1;
+      for (std::uint64_t part : {m & ~below_rr, m & below_rr})
+        while (part) {
+          const int slot = std::countr_zero(part);
+          part &= part - 1;
+          if (try_slot(static_cast<std::size_t>(slot))) return;
+        }
+      return;
     }
+    for (std::size_t step = 0; step < slots; ++step)
+      if (try_slot((rr + step) % slots)) return;
   }
 
   void ejection(int u, long cycle) {
@@ -298,22 +461,39 @@ class Simulator {
     const std::size_t slots = ins.size() * cfg_.num_vcs;
     if (slots == 0) return;
     int& rr = eject_rr_[u];
+
+    const auto try_slot = [&](std::size_t slot) {
+      const std::size_t k = slot / cfg_.num_vcs;
+      const int vc = static_cast<int>(slot % cfg_.num_vcs);
+      if (!input_port_free(u, k, cycle)) return false;
+      Channel& ch = channels_[ins[k]];
+      if (ch.empty(vc)) return false;
+      const Flit f = ch.front(vc);
+      if (f.pkt->dst != u) return false;
+      pop(u, k, vc, cycle);
+      ++flits_ejected_;
+      if (f.tail) complete_packet(f.pkt, cycle);
+      rr = static_cast<int>((slot + 1) % slots);
+      return true;
+    };
+
     for (int granted = 0; granted < cfg_.io_flits_per_cycle; ++granted) {
       bool any = false;
-      for (std::size_t step = 0; step < slots; ++step) {
-        const std::size_t slot = (rr + step) % slots;
-        const std::size_t k = slot / cfg_.num_vcs;
-        const int vc = static_cast<int>(slot % cfg_.num_vcs);
-        if (!input_port_free(u, k, cycle)) continue;
-        auto& buf = channels_[ins[k]].in_buf[vc];
-        if (buf.empty()) continue;
-        Flit f = buf.front();
-        if (f.pkt->dst != u) continue;
-        pop(u, k, vc, cycle);
-        if (f.tail) complete_packet(f.pkt, cycle);
-        rr = static_cast<int>((slot + 1) % slots);
-        any = true;
-        break;
+      if (!cfg_.reference_mode && mask_ok_[u]) {
+        // Reload the mask each grant: the pop above may have emptied a slot.
+        const std::uint64_t m = buf_mask_[u];
+        const std::uint64_t below_rr = (1ULL << rr) - 1;
+        for (std::uint64_t part : {m & ~below_rr, m & below_rr}) {
+          while (part && !any) {
+            const int slot = std::countr_zero(part);
+            part &= part - 1;
+            any = try_slot(static_cast<std::size_t>(slot));
+          }
+          if (any) break;
+        }
+      } else {
+        for (std::size_t step = 0; step < slots && !any; ++step)
+          any = try_slot((rr + step) % slots);
       }
       if (!any) return;
     }
@@ -336,9 +516,14 @@ class Simulator {
         reply->tagged = p->tagged;
         if (reply->tagged) ++stats_.tagged_injected;
         ++stats_.total_injected;
-        sources_[p->dst].packets.push_back(reply);
+        sources_[reply->src].packets.push_back(reply);
+        activate(reply->src);
       }
     }
+    // The tail just ejected, so no buffer, wire or VC owner references p any
+    // more: recycle it. (Long saturated drains no longer hold every packet
+    // ever injected.)
+    freelist_.push_back(p);
   }
 
   void record_backlog() {
@@ -347,6 +532,30 @@ class Simulator {
       total += static_cast<long>(sq.packets.size());
     stats_.mean_source_backlog =
         static_cast<double>(total) / std::max<std::size_t>(1, active_sources_.size());
+  }
+
+  // End-of-run accounting backing the conservation invariant tests.
+  void record_residuals() {
+    stats_.flits_injected = flits_injected_;
+    stats_.flits_ejected = flits_ejected_;
+    std::vector<int> wire_vc;
+    for (const auto& ch : channels_) {
+      // A credit is claimed when the flit enters the wire, so it mirrors the
+      // downstream slots that are occupied *or reserved by an in-flight flit*.
+      wire_vc.assign(ch.vcs, 0);
+      for (int j = 0; j < ch.wire_count; ++j)
+        ++wire_vc[ch.wire[(ch.wire_head + j) % ch.wire.size()].vc];
+      for (int vc = 0; vc < ch.vcs; ++vc) {
+        stats_.flits_buffered_end += ch.count[vc];
+        if (ch.credits[vc] != cfg_.buf_flits - ch.count[vc] - wire_vc[vc])
+          stats_.credits_consistent = false;
+        if (ch.owner[vc] != nullptr) stats_.owners_clear = false;
+      }
+      stats_.flits_inflight_end += ch.wire_count;
+    }
+    for (const auto& sq : sources_)
+      for (const Packet* p : sq.packets)
+        stats_.source_flits_end += p->flits - p->flits_sent;
   }
 
   const core::NetworkPlan& plan_;
@@ -369,13 +578,32 @@ class Simulator {
   std::vector<int> active_sources_;
   std::vector<std::vector<std::pair<double, int>>> cum_;
 
-  std::deque<Packet> arena_;
+  // Active-set state: one bit per router, plus the number of flits buffered
+  // across the router's input VCs (maintained by deliver/pop).
+  std::vector<std::uint64_t> active_words_;
+  std::vector<int> in_buffered_;
+  // Per-router (input k, vc) slot occupancy for mask-driven arbitration;
+  // usable while the slot space fits one word (mask_ok_).
+  std::vector<std::uint64_t> buf_mask_;
+  std::vector<bool> mask_ok_;
+
+  // Injection schedule: next injection cycle per source index, mirrored in a
+  // (cycle, idx) min-heap in optimized mode.
+  std::vector<long> next_inject_;
+  std::priority_queue<std::pair<long, int>, std::vector<std::pair<long, int>>,
+                      std::greater<>>
+      inject_heap_;
+
+  std::deque<Packet> arena_;        // stable storage; grows only when the
+  std::vector<Packet*> freelist_;   // freelist of completed packets is empty
   Flit inject_view_;
   long next_id_ = 0;
   long current_cycle_ = -1;
   long latency_sum_ = 0;
   long ejected_in_window_ = 0;
   long pending_replies_ = 0;
+  long flits_injected_ = 0;
+  long flits_ejected_ = 0;
 
   SimStats stats_;
 };

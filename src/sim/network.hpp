@@ -31,6 +31,12 @@ struct SimConfig {
   std::uint64_t seed = 1;
   // Optional per-edge extra delay (e.g. 2-cycle CDC crossings); empty = 0.
   util::Matrix<int> extra_edge_delay;
+  // Oracle mode: evaluate every router and output every cycle (the original
+  // full-scan loop) instead of only the members of the active set. Both modes
+  // share buffers, routing caches and the injection-gap sampler, so they
+  // produce bit-identical SimStats for the same seed; the equivalence tests
+  // assert exactly that.
+  bool reference_mode = false;
 };
 
 struct SimStats {
@@ -43,6 +49,18 @@ struct SimStats {
   long total_ejected = 0;
   bool saturated = false;
   double mean_source_backlog = 0.0;  // packets per node at window end
+  long cycles_run = 0;  // simulated cycles (< horizon when drain exits early)
+  // End-of-run flit accounting for the conservation invariant
+  //   flits_injected == flits_ejected + flits_buffered_end + flits_inflight_end
+  // (test_sim_invariants). A fully drained network additionally has the
+  // *_end terms at zero, all credits restored and all VC owners null.
+  long flits_injected = 0;      // flits switched out of a source NI
+  long flits_ejected = 0;       // flits ejected at their destination
+  long flits_buffered_end = 0;  // still in VC input buffers at exit
+  long flits_inflight_end = 0;  // still on a wire at exit
+  long source_flits_end = 0;    // unsent flits queued in source NIs at exit
+  bool credits_consistent = true;  // credits mirror free buffer slots at exit
+  bool owners_clear = true;        // no VC held by a packet at exit
 };
 
 // Runs one simulation at a fixed injection rate. The plan's VC map must use

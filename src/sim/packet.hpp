@@ -11,6 +11,7 @@ struct Packet {
   int dst = 0;
   int flits = 1;          // 1-flit control or 9-flit data (8B links, 72B data)
   int vc = 0;             // layered routing: constant along the route
+  int src_next = -1;      // next hop out of src (routed once at creation)
   long inject_cycle = 0;  // when the packet entered the source queue
   bool tagged = false;    // injected inside the measurement window
   bool is_request = false;  // memory traffic: triggers a reply at ejection
@@ -21,6 +22,10 @@ struct Flit {
   Packet* pkt = nullptr;
   bool head = false;
   bool tail = false;
+  // Next hop from the router whose input buffer holds this flit (-1 = eject
+  // here). Routed once when the flit is switched onto a link, so arbitration
+  // never walks the routing table per candidate slot per cycle.
+  int next = -1;
 };
 
 }  // namespace netsmith::sim

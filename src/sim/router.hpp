@@ -7,7 +7,14 @@
 // buffer slots, (c) a fixed-latency in-flight pipeline, and (d) a per-VC
 // wormhole owner: once a head flit is switched onto (link, vc), that packet
 // holds the VC until its tail passes (no flit interleaving within a VC).
+//
+// All FIFOs are fixed-capacity flat ring buffers: credits bound the per-VC
+// input occupancy at buf_flits, and the wire carries at most one flit per
+// cycle for `latency` cycles, so both capacities are known at init time and
+// the simulator performs no steady-state allocation.
 
+#include <cassert>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -25,16 +32,58 @@ struct InFlight {
 struct Channel {
   int src = 0, dst = 0;
   int latency = 3;  // router pipeline + wire (+ CDC) cycles
-  std::vector<std::deque<Flit>> in_buf;  // per VC, at the downstream router
-  std::vector<int> credits;              // per VC, at the upstream router
-  std::vector<Packet*> owner;            // per VC wormhole allocation
-  std::deque<InFlight> flight;           // flits on the wire (FIFO: fixed lat)
-  std::vector<int> rr;                   // round-robin pointers (per VC group)
+  int vcs = 0, cap = 0;
+  int k_at_dst = 0;  // position of this channel among dst's in-edges
 
-  void init(int vcs, int buf_flits) {
-    in_buf.assign(vcs, {});
+  std::vector<Flit> buf;             // flat per-VC rings: slot vc*cap + i
+  std::vector<std::uint16_t> head;   // per-VC ring head
+  std::vector<std::uint16_t> count;  // per-VC occupancy
+  std::vector<int> credits;          // per VC, at the upstream router
+  std::vector<Packet*> owner;        // per VC wormhole allocation
+
+  std::vector<InFlight> wire;  // flight ring (FIFO: fixed latency)
+  int wire_head = 0, wire_count = 0;
+
+  // Requires `latency` to be set first (sizes the wire ring).
+  void init(int num_vcs, int buf_flits) {
+    assert(latency >= 1);
+    vcs = num_vcs;
+    cap = buf_flits;
+    buf.assign(static_cast<std::size_t>(vcs) * cap, {});
+    head.assign(vcs, 0);
+    count.assign(vcs, 0);
     credits.assign(vcs, buf_flits);
     owner.assign(vcs, nullptr);
+    wire.assign(static_cast<std::size_t>(latency) + 1, {});
+    wire_head = wire_count = 0;
+  }
+
+  bool empty(int vc) const { return count[vc] == 0; }
+  Flit& front(int vc) {
+    return buf[static_cast<std::size_t>(vc) * cap + head[vc]];
+  }
+  void push(int vc, const Flit& f) {
+    assert(count[vc] < cap);  // credits guarantee a free slot
+    buf[static_cast<std::size_t>(vc) * cap + (head[vc] + count[vc]) % cap] = f;
+    ++count[vc];
+  }
+  void pop(int vc) {
+    assert(count[vc] > 0);
+    head[vc] = static_cast<std::uint16_t>((head[vc] + 1) % cap);
+    --count[vc];
+  }
+
+  bool wire_empty() const { return wire_count == 0; }
+  InFlight& wire_front() { return wire[wire_head]; }
+  void wire_push(const InFlight& f) {
+    assert(wire_count < static_cast<int>(wire.size()));
+    wire[(wire_head + wire_count) % wire.size()] = f;
+    ++wire_count;
+  }
+  void wire_pop() {
+    assert(wire_count > 0);
+    wire_head = static_cast<int>((wire_head + 1) % wire.size());
+    --wire_count;
   }
 };
 

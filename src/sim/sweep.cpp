@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 namespace netsmith::sim {
 
 namespace {
@@ -26,33 +30,59 @@ std::vector<double> default_rates(double max_rate, int points) {
 SweepResult injection_sweep(const core::NetworkPlan& plan,
                             const TrafficConfig& traffic, const SimConfig& cfg,
                             double clock_ghz,
-                            const std::vector<double>& rates) {
+                            const std::vector<double>& rates,
+                            const SweepOptions& opt) {
   SweepResult result;
+  if (rates.empty()) return result;
   result.points.resize(rates.size());
 
-  // The zero-load reference run is scheduled as one more parallel job
-  // (index rates.size()) instead of serially ahead of the sweep, so it
-  // overlaps with the rate points rather than lengthening the critical path.
+  // Job 0 is the zero-load reference run; job i >= 1 is rate point i - 1.
+  // Jobs run in ascending-rate waves sized to the thread team: each wave is
+  // one parallel region, and truncation for a wave depends only on completed
+  // waves, so the sweep stays deterministic per thread count while the
+  // zero-load run and the low-rate points still overlap.
   SimStats zero_stats;
+#if defined(_OPENMP)
+  const std::size_t wave = static_cast<std::size_t>(
+      std::max(1, omp_get_max_threads()));
+#else
+  const std::size_t wave = 1;
+#endif
+  const std::size_t total = rates.size() + 1;
+  bool saturated_seen = false;
+  for (std::size_t begin = 0; begin < total; begin += wave) {
+    const std::size_t end = std::min(total, begin + wave);
+    const bool truncate = opt.adaptive && saturated_seen;
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t i = 0; i < rates.size() + 1; ++i) {
-    if (i == rates.size()) {
-      TrafficConfig t0 = traffic;
-      t0.injection_rate = std::max(1e-4, rates.front() * 0.05);
-      SimConfig c0 = cfg;
-      zero_stats = simulate(plan, t0, c0);
-      continue;
+    for (std::size_t job = begin; job < end; ++job) {
+      if (job == 0) {
+        TrafficConfig t0 = traffic;
+        t0.injection_rate = std::max(1e-4, rates.front() * 0.05);
+        zero_stats = simulate(plan, t0, cfg);
+        continue;
+      }
+      const std::size_t i = job - 1;
+      TrafficConfig t = traffic;
+      t.injection_rate = rates[i];
+      SimConfig c = cfg;
+      c.seed = cfg.seed + 1000 + i;  // independent streams per point
+      if (truncate) {
+        // Floors keep short-window estimates usable, but never let the
+        // "truncated" window exceed what the caller configured.
+        c.measure = std::min(cfg.measure, std::max(opt.min_measure,
+                                                   cfg.measure / opt.truncate_factor));
+        c.drain = std::min(cfg.drain, std::max(opt.min_drain,
+                                               cfg.drain / opt.truncate_factor));
+      }
+      SweepPoint pt;
+      pt.offered_pkt_node_cycle = rates[i];
+      pt.stats = simulate(plan, t, c);
+      pt.latency_ns = pt.stats.avg_latency_cycles / clock_ghz;
+      pt.accepted_pkt_node_ns = pt.stats.accepted * clock_ghz;
+      result.points[i] = pt;
     }
-    TrafficConfig t = traffic;
-    t.injection_rate = rates[i];
-    SimConfig c = cfg;
-    c.seed = cfg.seed + 1000 + i;  // independent streams per point
-    SweepPoint pt;
-    pt.offered_pkt_node_cycle = rates[i];
-    pt.stats = simulate(plan, t, c);
-    pt.latency_ns = pt.stats.avg_latency_cycles / clock_ghz;
-    pt.accepted_pkt_node_ns = pt.stats.accepted * clock_ghz;
-    result.points[i] = pt;
+    for (std::size_t job = std::max<std::size_t>(begin, 1); job < end; ++job)
+      if (result.points[job - 1].stats.saturated) saturated_seen = true;
   }
   result.zero_load_latency_cycles = zero_stats.avg_latency_cycles;
   result.zero_load_latency_ns = zero_stats.avg_latency_cycles / clock_ghz;
@@ -83,7 +113,8 @@ SweepResult injection_sweep(const core::NetworkPlan& plan,
 SweepResult sweep_to_saturation(const core::NetworkPlan& plan,
                                 const TrafficConfig& traffic,
                                 const SimConfig& cfg, double clock_ghz,
-                                int points, double max_rate_override) {
+                                int points, double max_rate_override,
+                                const SweepOptions& opt) {
   double max_rate = max_rate_override;
   if (max_rate <= 0.0) {
     // The routed channel-load bound caps useful offered rates.
@@ -100,7 +131,7 @@ SweepResult sweep_to_saturation(const core::NetworkPlan& plan,
     max_rate /= std::max(1.0, avg_flits);
   }
   return injection_sweep(plan, traffic, cfg, clock_ghz,
-                         default_rates(max_rate, points));
+                         default_rates(max_rate, points), opt);
 }
 
 }  // namespace netsmith::sim

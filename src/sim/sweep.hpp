@@ -4,6 +4,14 @@
 // with OpenMP. Cross-class comparisons use absolute units: latency in ns and
 // throughput in packets/node/ns at the class clock (paper SIV: small/medium/
 // large NoIs run at 3.6/3.0/2.7 GHz).
+//
+// Sweeps are adaptive by default: points run in ascending-rate waves (one
+// wave per OpenMP thread team), and once a completed wave contains a
+// saturated point, every later point runs with a truncated measure/drain
+// window. Saturated points are the expensive ones — they never take the
+// early drain exit — and past the knee only the saturated flag and a rough
+// accepted throughput matter. Truncation decisions depend only on completed
+// waves, so results are deterministic for a fixed thread count.
 
 #include <vector>
 
@@ -30,9 +38,17 @@ struct SweepResult {
 // Geometric-ish grid of offered rates up to max_rate.
 std::vector<double> default_rates(double max_rate, int points = 14);
 
+struct SweepOptions {
+  bool adaptive = true;  // truncate windows past the first saturated wave
+  int truncate_factor = 4;
+  long min_measure = 1000;  // truncated windows never shrink below these
+  long min_drain = 2000;
+};
+
 SweepResult injection_sweep(const core::NetworkPlan& plan,
                             const TrafficConfig& traffic, const SimConfig& cfg,
-                            double clock_ghz, const std::vector<double>& rates);
+                            double clock_ghz, const std::vector<double>& rates,
+                            const SweepOptions& opt = {});
 
 // Convenience: sweeps up to slightly above the analytic routed bound (which
 // assumes uniform traffic). For other patterns pass max_rate_override, e.g.
@@ -41,6 +57,7 @@ SweepResult sweep_to_saturation(const core::NetworkPlan& plan,
                                 const TrafficConfig& traffic,
                                 const SimConfig& cfg, double clock_ghz,
                                 int points = 14,
-                                double max_rate_override = 0.0);
+                                double max_rate_override = 0.0,
+                                const SweepOptions& opt = {});
 
 }  // namespace netsmith::sim

@@ -1,0 +1,140 @@
+// Reference-vs-optimized simulator equivalence: the activity-driven event
+// loop (active router set, cached next-hops, heap-scheduled injection) must
+// produce bit-identical SimStats to the full per-cycle scan for the same
+// seed — across every TrafficKind, several topologies and seeds, and on both
+// sides of the saturation knee.
+
+#include <gtest/gtest.h>
+
+#include "core/objective.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "topo/builders.hpp"
+
+namespace netsmith::sim {
+namespace {
+
+void expect_identical(const SimStats& ref, const SimStats& opt) {
+  EXPECT_EQ(ref.total_injected, opt.total_injected);
+  EXPECT_EQ(ref.total_ejected, opt.total_ejected);
+  EXPECT_EQ(ref.tagged_injected, opt.tagged_injected);
+  EXPECT_EQ(ref.tagged_completed, opt.tagged_completed);
+  EXPECT_EQ(ref.cycles_run, opt.cycles_run);
+  EXPECT_EQ(ref.saturated, opt.saturated);
+  EXPECT_EQ(ref.flits_injected, opt.flits_injected);
+  EXPECT_EQ(ref.flits_ejected, opt.flits_ejected);
+  EXPECT_EQ(ref.flits_buffered_end, opt.flits_buffered_end);
+  EXPECT_EQ(ref.flits_inflight_end, opt.flits_inflight_end);
+  EXPECT_EQ(ref.source_flits_end, opt.source_flits_end);
+  EXPECT_EQ(ref.credits_consistent, opt.credits_consistent);
+  EXPECT_EQ(ref.owners_clear, opt.owners_clear);
+  // Same integer event history implies the exact same arithmetic.
+  EXPECT_DOUBLE_EQ(ref.accepted, opt.accepted);
+  EXPECT_DOUBLE_EQ(ref.avg_latency_cycles, opt.avg_latency_cycles);
+  EXPECT_DOUBLE_EQ(ref.mean_source_backlog, opt.mean_source_backlog);
+}
+
+void run_both(const core::NetworkPlan& plan, const TrafficConfig& traffic,
+              SimConfig cfg) {
+  cfg.reference_mode = true;
+  const auto ref = simulate(plan, traffic, cfg);
+  cfg.reference_mode = false;
+  const auto opt = simulate(plan, traffic, cfg);
+  expect_identical(ref, opt);
+  // Guard against vacuous equivalence (both empty).
+  EXPECT_GT(ref.total_injected, 0);
+}
+
+core::NetworkPlan plan_for(const topo::DiGraph& g, const topo::Layout& lay) {
+  return core::plan_network(g, lay, core::RoutingPolicy::kMclb, /*num_vcs=*/6);
+}
+
+SimConfig quick_cfg(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.warmup = 1000;
+  cfg.measure = 3000;
+  cfg.drain = 12000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SimEquivalence, CoherenceAcrossTopologiesAndSeeds) {
+  const auto lay = topo::Layout::noi_4x5();
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  t.injection_rate = 0.03;
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    run_both(plan_for(topo::build_folded_torus(lay), lay), t, quick_cfg(seed));
+    run_both(plan_for(topo::build_mesh(lay), lay), t, quick_cfg(seed));
+  }
+}
+
+TEST(SimEquivalence, MemoryRequestReply) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = plan_for(topo::build_folded_torus(lay), lay);
+  TrafficConfig t;
+  t.kind = TrafficKind::kMemory;
+  t.mc_nodes = mc_nodes(lay);
+  t.injection_rate = 0.01;
+  run_both(plan, t, quick_cfg(5));
+}
+
+TEST(SimEquivalence, ShuffleTraffic) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = plan_for(topo::build_folded_torus(lay), lay);
+  TrafficConfig t;
+  t.kind = TrafficKind::kShuffle;
+  t.injection_rate = 0.02;
+  run_both(plan, t, quick_cfg(11));
+}
+
+TEST(SimEquivalence, CustomPatternTraffic) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = plan_for(topo::build_folded_torus(lay), lay);
+  const auto traffic =
+      traffic_from_pattern(core::tornado_pattern(20), /*injection_rate=*/0.02);
+  run_both(plan, traffic, quick_cfg(13));
+}
+
+TEST(SimEquivalence, SaturatedPoint) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = plan_for(topo::build_mesh(lay), lay);
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  t.injection_rate = 0.6;  // far past the knee
+  auto cfg = quick_cfg(3);
+  cfg.drain = 3000;
+  cfg.reference_mode = true;
+  const auto ref = simulate(plan, t, cfg);
+  cfg.reference_mode = false;
+  const auto opt = simulate(plan, t, cfg);
+  EXPECT_TRUE(ref.saturated);
+  expect_identical(ref, opt);
+}
+
+TEST(SimEquivalence, NdbtRoutingAndNarrowIo) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = core::plan_network(topo::build_folded_torus(lay), lay,
+                                       core::RoutingPolicy::kNdbt, 6);
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  t.injection_rate = 0.03;
+  auto cfg = quick_cfg(29);
+  cfg.io_flits_per_cycle = 1;
+  run_both(plan, t, cfg);
+}
+
+TEST(SimEquivalence, TinyBuffersAndExtraDelay) {
+  const auto lay = topo::Layout::noi_4x5();
+  const auto plan = plan_for(topo::build_folded_torus(lay), lay);
+  TrafficConfig t;
+  t.kind = TrafficKind::kCoherence;
+  t.injection_rate = 0.04;
+  auto cfg = quick_cfg(17);
+  cfg.buf_flits = 2;
+  cfg.extra_edge_delay = util::Matrix<int>(20, 20, 2);
+  run_both(plan, t, cfg);
+}
+
+}  // namespace
+}  // namespace netsmith::sim
