@@ -89,11 +89,44 @@ BENCHMARK(BM_SimplexTransport)->Arg(8)->Arg(16)->Arg(24)->Unit(benchmark::kMilli
 void BM_MclbLocalSearch20(benchmark::State& state) {
   const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
   const auto paths = routing::enumerate_shortest_paths(g);
+  const auto cps = routing::compile_paths(paths);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(routing::mclb_local_search(paths));
+    benchmark::DoNotOptimize(routing::mclb_local_search(cps));
   }
 }
 BENCHMARK(BM_MclbLocalSearch20)->Unit(benchmark::kMillisecond);
+
+void BM_MclbLocalSearchScan20(benchmark::State& state) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto paths = routing::enumerate_shortest_paths(g);
+  const auto cps = routing::compile_paths(paths);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::mclb_local_search_scan(cps));
+  }
+}
+BENCHMARK(BM_MclbLocalSearchScan20)->Unit(benchmark::kMillisecond);
+
+void BM_CompilePaths20(benchmark::State& state) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto paths = routing::enumerate_shortest_paths(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::compile_paths(paths));
+  }
+}
+BENCHMARK(BM_CompilePaths20)->Unit(benchmark::kMillisecond);
+
+// Full channel-load move evaluation as the annealer pays it: capped path
+// enumeration from a ready APSP, compile, flat MCLB.
+void BM_ChannelLoadMoveEval(benchmark::State& state) {
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto dist = topo::apsp_bfs(g);
+  for (auto _ : state) {
+    const auto ps = routing::enumerate_shortest_paths_from_dist(g, dist, 8);
+    const auto cps = routing::compile_paths(ps);
+    benchmark::DoNotOptimize(routing::mclb_local_search(cps, {}, 8));
+  }
+}
+BENCHMARK(BM_ChannelLoadMoveEval)->Unit(benchmark::kMillisecond);
 
 void BM_PathEnumeration(benchmark::State& state) {
   const auto lay = topo::Layout{static_cast<int>(state.range(0)),

@@ -4,13 +4,15 @@
 // successive PRs can track the numbers.
 //
 // Usage: perf_report [--smoke] [--out PATH] [--min-apsp-speedup X]
-//                    [--min-sim-speedup X]
+//                    [--min-sim-speedup X] [--min-mclb-speedup X]
 //   --smoke              short budgets (CI-friendly, ~10 s total)
 //   --out PATH           output JSON path (default: BENCH_perf.json in cwd)
 //   --min-apsp-speedup X exit non-zero if bitset/scalar APSP speedup < X,
 //                        so CI fails loudly on kernel regressions
 //   --min-sim-speedup X  exit non-zero if the activity-driven simulator is
 //                        not at least X times the reference full scan
+//   --min-mclb-speedup X exit non-zero if the flat incremental MCLB engine
+//                        is not at least X times the scan-based oracle
 //
 // Speedups are measured as in-process ratios (optimized and reference runs
 // interleaved in the same process), so they stay meaningful on a noisy
@@ -22,6 +24,8 @@
 #include <string>
 
 #include "core/netsmith.hpp"
+#include "routing/compiled.hpp"
+#include "routing/mclb.hpp"
 #include "sim/network.hpp"
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
@@ -57,6 +61,10 @@ struct Report {
   double sim_cycles_per_sec = 0.0;
   double sim_ref_cycles_per_sec = 0.0;
   double sim_speedup = 0.0;
+  double mclb_flat_routes_per_sec = 0.0;
+  double mclb_scan_routes_per_sec = 0.0;
+  double mclb_speedup = 0.0;
+  double mclb_compile_ms = 0.0;
 };
 
 void write_json(const Report& r, const std::string& path) {
@@ -66,7 +74,7 @@ void write_json(const Report& r, const std::string& path) {
     std::exit(2);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"schema\": 2,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", r.smoke ? "true" : "false");
   std::fprintf(f, "  \"anneal\": {\n");
   std::fprintf(f, "    \"moves_per_sec\": %.1f,\n", r.anneal_moves_per_sec);
@@ -86,6 +94,14 @@ void write_json(const Report& r, const std::string& path) {
   std::fprintf(f, "    \"reference_cycles_per_sec\": %.1f,\n",
                r.sim_ref_cycles_per_sec);
   std::fprintf(f, "    \"speedup\": %.2f\n", r.sim_speedup);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"mclb\": {\n");
+  std::fprintf(f, "    \"flat_routes_per_sec\": %.1f,\n",
+               r.mclb_flat_routes_per_sec);
+  std::fprintf(f, "    \"scan_routes_per_sec\": %.1f,\n",
+               r.mclb_scan_routes_per_sec);
+  std::fprintf(f, "    \"speedup\": %.2f,\n", r.mclb_speedup);
+  std::fprintf(f, "    \"compile_ms\": %.4f\n", r.mclb_compile_ms);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
@@ -98,6 +114,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_perf.json";
   double min_apsp_speedup = 0.0;
   double min_sim_speedup = 0.0;
+  double min_mclb_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) rep.smoke = true;
     else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out = argv[++i];
@@ -105,9 +122,13 @@ int main(int argc, char** argv) {
       min_apsp_speedup = std::atof(argv[++i]);
     else if (!std::strcmp(argv[i], "--min-sim-speedup") && i + 1 < argc)
       min_sim_speedup = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--min-mclb-speedup") && i + 1 < argc)
+      min_mclb_speedup = std::atof(argv[++i]);
     else {
-      std::fprintf(stderr, "usage: perf_report [--smoke] [--out PATH] "
-                           "[--min-apsp-speedup X] [--min-sim-speedup X]\n");
+      std::fprintf(stderr,
+                   "usage: perf_report [--smoke] [--out PATH] "
+                   "[--min-apsp-speedup X] [--min-sim-speedup X] "
+                   "[--min-mclb-speedup X]\n");
       return 2;
     }
   }
@@ -144,6 +165,43 @@ int main(int argc, char** argv) {
       volatile auto bw = topo::sparsest_cut_heuristic(g48, r, 8).bandwidth;
       (void)bw;
     }) / 1e6;
+  }
+
+  // --- MCLB routing: flat incremental engine vs scan-based oracle. --------
+  // Same compiled path set (folded torus at n = 20, full enumeration), runs
+  // interleaved so machine-load noise cancels out of the ratio.
+  {
+    const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+    const auto ps = routing::enumerate_shortest_paths(g);
+    rep.mclb_compile_ms = time_ns_per_op(kernel_budget * 0.25, [&] {
+      volatile auto e = routing::compile_paths(ps).num_edges;
+      (void)e;
+    }) / 1e6;
+    const auto cps = routing::compile_paths(ps);
+    util::WallTimer total;
+    double flat_s = 0.0, scan_s = 0.0;
+    long flat_routes = 0, scan_routes = 0;
+    do {
+      {
+        util::WallTimer w;
+        volatile auto m = routing::mclb_local_search(cps).max_flows_on_link;
+        (void)m;
+        flat_s += w.seconds();
+        ++flat_routes;
+      }
+      {
+        util::WallTimer w;
+        volatile auto m =
+            routing::mclb_local_search_scan(cps).max_flows_on_link;
+        (void)m;
+        scan_s += w.seconds();
+        ++scan_routes;
+      }
+    } while (total.seconds() < kernel_budget * 2.0);
+    rep.mclb_flat_routes_per_sec = static_cast<double>(flat_routes) / flat_s;
+    rep.mclb_scan_routes_per_sec = static_cast<double>(scan_routes) / scan_s;
+    rep.mclb_speedup =
+        rep.mclb_flat_routes_per_sec / rep.mclb_scan_routes_per_sec;
   }
 
   // --- Annealer move throughput (LatOp on the 4x5 NoI). -------------------
@@ -205,12 +263,14 @@ int main(int argc, char** argv) {
 
   write_json(rep, out);
   std::printf("perf_report%s: anneal %.0f moves/s | apsp48 %.0f ns (scalar "
-              "%.0f ns, %.2fx) | cut20 %.2f ms | sim %.2e cyc/s (ref %.2e, "
-              "%.2fx) -> %s\n",
+              "%.0f ns, %.2fx) | cut20 %.2f ms | mclb %.0f routes/s (scan "
+              "%.0f, %.2fx) | sim %.2e cyc/s (ref %.2e, %.2fx) -> %s\n",
               rep.smoke ? " [smoke]" : "", rep.anneal_moves_per_sec,
               rep.apsp48_bitset_ns, rep.apsp48_scalar_ns, rep.apsp48_speedup,
-              rep.cut_exact20_ms, rep.sim_cycles_per_sec,
-              rep.sim_ref_cycles_per_sec, rep.sim_speedup, out.c_str());
+              rep.cut_exact20_ms, rep.mclb_flat_routes_per_sec,
+              rep.mclb_scan_routes_per_sec, rep.mclb_speedup,
+              rep.sim_cycles_per_sec, rep.sim_ref_cycles_per_sec,
+              rep.sim_speedup, out.c_str());
 
   if (min_apsp_speedup > 0.0 && rep.apsp48_speedup < min_apsp_speedup) {
     std::fprintf(stderr,
@@ -222,6 +282,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "perf_report: simulator speedup %.2fx below required %.2fx\n",
                  rep.sim_speedup, min_sim_speedup);
+    return 1;
+  }
+  if (min_mclb_speedup > 0.0 && rep.mclb_speedup < min_mclb_speedup) {
+    std::fprintf(stderr,
+                 "perf_report: MCLB flat-engine speedup %.2fx below required "
+                 "%.2fx\n",
+                 rep.mclb_speedup, min_mclb_speedup);
     return 1;
   }
   return 0;

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "core/bounds.hpp"
+#include "routing/compiled.hpp"
+#include "routing/mclb.hpp"
+#include "routing/paths.hpp"
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
 #include "topo/metrics.hpp"
@@ -61,6 +64,27 @@ class HopEvaluator {
     }
     if (unreachable > 0) return kDisconnected * unreachable;
     return wsum > 0.0 ? total / wsum : 0.0;
+  }
+
+  // Total hops AND the full APSP matrix in one word-parallel sweep: the
+  // route-aware objectives feed `dist` straight into
+  // enumerate_shortest_paths_from_dist, so the move evaluation never runs a
+  // second BFS over the same graph.
+  double total_hops_into(const topo::DiGraph& g, util::Matrix<int>& dist) {
+    double total = 0.0;
+    long unreachable = 0;
+    for (int s = 0; s < n_; ++s) {
+      bfs_.distances(g, s, &dist(s, 0));
+      for (int j = 0; j < n_; ++j) {
+        if (j == s) continue;
+        if (dist(s, j) >= topo::kUnreachable)
+          ++unreachable;
+        else
+          total += dist(s, j);
+      }
+    }
+    if (unreachable > 0) return kDisconnected * unreachable;
+    return total;
   }
 
  private:
@@ -169,25 +193,49 @@ struct SearchContext {
       if (cfg.symmetric_links && i > j) continue;
       out_cand[i].push_back(j);
     }
-    if (cfg.objective == Objective::kLatOp) {
-      bound = average_hops_lower_bound(cfg.layout, cfg.link_class, cfg.radix);
-    } else if (cfg.objective == Objective::kSCOp) {
-      bound = sparsest_cut_upper_bound(cfg.layout, cfg.link_class, cfg.radix);
-    } else {
-      // Weighted-hops bound: distances in the all-valid-links graph.
-      topo::DiGraph pot(n);
-      for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class))
-        pot.add_edge(i, j);
-      HopEvaluator eval(n);
-      bound = eval.weighted_hops(pot, cfg.pattern);
+    switch (cfg.objective) {
+      case Objective::kLatOp:
+        bound = average_hops_lower_bound(cfg.layout, cfg.link_class, cfg.radix);
+        break;
+      case Objective::kSCOp:
+        bound = sparsest_cut_upper_bound(cfg.layout, cfg.link_class, cfg.radix);
+        break;
+      case Objective::kPattern: {
+        // Weighted-hops bound: distances in the all-valid-links graph.
+        topo::DiGraph pot(n);
+        for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class))
+          pot.add_edge(i, j);
+        HopEvaluator eval(n);
+        bound = eval.weighted_hops(pot, cfg.pattern);
+        break;
+      }
+      case Objective::kChannelLoad:
+      case Objective::kLatLoad: {
+        // Uniform demand puts sum(normalized loads) = n * avg_hops across at
+        // most n*radix directed links, so the max normalized load of ANY
+        // routing is at least avg_hops_lb / radix.
+        const double h =
+            average_hops_lower_bound(cfg.layout, cfg.link_class, cfg.radix);
+        const double load_lb = h / cfg.radix;
+        bound = cfg.objective == Objective::kChannelLoad
+                    ? load_lb
+                    : h + cfg.load_weight * load_lb;
+        break;
+      }
     }
   }
 
-  // Primary objective in *reporting* units: avg hops (min) or exact cut
-  // bandwidth (max). Secondary: avg hops for SCOp tie-breaks.
+  // Primary objective in *reporting* units: avg hops (min), exact cut
+  // bandwidth (max), max normalized channel load (min), or the combined
+  // hops+load score (min). Secondary: avg hops for SCOp/kChannelLoad
+  // tie-breaks.
   bool better(double p, double s, double bp, double bs) const {
     if (cfg.objective == Objective::kSCOp) {
       if (p != bp) return p > bp;
+      return s < bs;
+    }
+    if (cfg.objective == Objective::kChannelLoad) {
+      if (p != bp) return p < bp;
       return s < bs;
     }
     return p < bp;
@@ -219,7 +267,8 @@ class RestartRun {
         n_(ctx.n),
         rng_(cfg_.seed * 0x9E3779B9 + restart * 1234567 + 1),
         hop_eval_(n_),
-        cuts_(n_, ctx.opts.cut_cache_size) {}
+        cuts_(n_, ctx.opts.cut_cache_size),
+        dist_(n_, n_) {}
 
   RestartOutcome run() {
     util::WallTimer timer;
@@ -329,8 +378,37 @@ class RestartRun {
         const double soft = cuts_.soft_bandwidth(g);
         return -soft * 2000.0 + avg;
       }
+      case Objective::kChannelLoad:
+      case Objective::kLatLoad: {
+        // Route-aware scoring: one word-parallel APSP sweep feeds both the
+        // hop term and the shortest-path DAG the MCLB pipeline routes over.
+        last_hops_ = hop_eval_.total_hops_into(g, dist_);
+        if (last_hops_ >= kDisconnected) return last_hops_;
+        last_load_ = route_max_load(g);
+        const double avg = last_hops_ / (static_cast<double>(n_) * (n_ - 1));
+        if (cfg_.objective == Objective::kChannelLoad)
+          // Units of "flows on the bottleneck link" (delta of one rerouted
+          // flow = 1.0), with average hops as a mild tie-break so equal-load
+          // candidates still feel a latency gradient.
+          return last_load_ * (n_ - 1) + 0.01 * avg + bandwidth_penalty(g);
+        return (avg + cfg_.load_weight * last_load_) *
+                   (static_cast<double>(n_) * (n_ - 1)) +
+               bandwidth_penalty(g);
+      }
     }
     return 0.0;
+  }
+
+  // MCLB max normalized channel load of g, routed over the shortest-path
+  // DAG already materialized in dist_ by total_hops_into (no second BFS).
+  // The compiler enumerates straight into the persistent compiled set, so
+  // the enumeration half of the per-move pipeline reuses its arrays instead
+  // of reallocating a ragged PathSet every move (the search itself still
+  // allocates its small flat scratch per call).
+  double route_max_load(const topo::DiGraph& g) {
+    path_compiler_.enumerate(g, dist_, cfg_.anneal_paths_per_flow, cps_);
+    return routing::mclb_local_search(cps_, {}, cfg_.anneal_mclb_rounds)
+        .max_load;
   }
 
   void maybe_update_incumbent(const topo::DiGraph& g, RestartOutcome& out,
@@ -359,6 +437,14 @@ class RestartRun {
             return;
           break;
         }
+        case Objective::kChannelLoad:
+          if (last_load_ > out.primary ||
+              (last_load_ == out.primary && avg >= out.secondary))
+            return;
+          break;
+        case Objective::kLatLoad:
+          if (avg + cfg_.load_weight * last_load_ >= out.primary) return;
+          break;
       }
     }
 
@@ -392,6 +478,12 @@ class RestartRun {
       secondary = avg;
     } else if (cfg_.objective == Objective::kPattern) {
       primary = last_weighted_;
+      secondary = avg;
+    } else if (cfg_.objective == Objective::kChannelLoad) {
+      primary = last_load_;
+      secondary = avg;
+    } else if (cfg_.objective == Objective::kLatLoad) {
+      primary = avg + cfg_.load_weight * last_load_;
       secondary = avg;
     } else {
       primary = avg;
@@ -496,8 +588,12 @@ class RestartRun {
   util::Rng rng_;
   HopEvaluator hop_eval_;
   CutCache cuts_;
+  util::Matrix<int> dist_;  // APSP scratch for the route-aware objectives
+  routing::PathCompiler path_compiler_;
+  routing::CompiledPathSet cps_;
   double last_hops_ = 0.0;
   double last_weighted_ = 0.0;
+  double last_load_ = 0.0;
   Delta delta_;
 };
 

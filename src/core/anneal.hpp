@@ -9,7 +9,10 @@
 // (Fig. 5). The SCOp objective is evaluated through a lazily grown cache of
 // worst cuts (cutting-plane style): cheap surrogate evaluations against the
 // cached partitions, with periodic exact sparsest-cut refreshes that insert
-// newly violated partitions.
+// newly violated partitions. The route-aware objectives (kChannelLoad,
+// kLatLoad) score every move by running the compiled shortest-path-enum ->
+// flat MCLB pipeline on the candidate graph, reusing the move's APSP for
+// the shortest-path DAG (see DESIGN.md "Channel-load-aware annealing").
 //
 // Restarts are independent searches: each owns its RNG (seeded from
 // cfg.seed and the restart index), objective engine, cut cache and

@@ -15,6 +15,11 @@ enum class Objective {
   kLatOp,    // O1: minimize total (average) hop count
   kSCOp,     // O2: maximize sparsest-cut bandwidth (ties broken on hops)
   kPattern,  // weighted hops for an explicit traffic matrix (e.g. shuffle)
+  // Route-aware objectives: every move is scored by running the compiled
+  // shortest-path-enumeration -> MCLB pipeline (flat incremental engine,
+  // routing/mclb.hpp) on the candidate graph, reusing the move's APSP.
+  kChannelLoad,  // minimize MCLB max normalized channel load (ties: hops)
+  kLatLoad,      // combined: avg hops + load_weight * max channel load
 };
 
 struct SynthesisConfig {
@@ -29,6 +34,14 @@ struct SynthesisConfig {
   // while optimizing the primary objective ("combined measures", SI).
   // 0 = unconstrained.
   double min_cut_bandwidth = 0.0;
+  // kLatLoad only: weight on the MCLB max normalized channel load relative
+  // to average hops in the combined score.
+  double load_weight = 1.0;
+  // kChannelLoad / kLatLoad: budget of the per-move routing pipeline. Path
+  // enumeration is capped per flow and the MCLB improvement loop gets a
+  // fixed round budget; both trade move-evaluation fidelity for throughput.
+  int anneal_paths_per_flow = 8;
+  int anneal_mclb_rounds = 8;
 
   double time_limit_s = 10.0;
   std::uint64_t seed = 1;
@@ -50,6 +63,8 @@ struct SynthesisResult {
   topo::DiGraph graph;
   // For kLatOp/kPattern: average hops (lower is better).
   // For kSCOp: exact sparsest-cut bandwidth (higher is better).
+  // For kChannelLoad: MCLB max normalized channel load (lower is better).
+  // For kLatLoad: avg hops + load_weight * max channel load (lower).
   double objective_value = 0.0;
   double bound = 0.0;
   std::vector<ProgressPoint> trace;

@@ -26,8 +26,10 @@ SynthesisResult synthesize_exact(const SynthesisConfig& cfg,
                         cfg.diameter_bound, cfg.symmetric_links);
       break;
     case Objective::kPattern:
+    case Objective::kChannelLoad:
+    case Objective::kLatLoad:
       throw std::invalid_argument(
-          "synthesize_exact: pattern objective is anneal-only");
+          "synthesize_exact: pattern/route-aware objectives are anneal-only");
   }
 
   lp::MilpOptions o = opts;

@@ -1,0 +1,120 @@
+#include "routing/compiled.hpp"
+
+#include <algorithm>
+
+#include "topo/metrics.hpp"
+
+namespace netsmith::routing {
+
+namespace {
+
+int intern_edge(CompiledPathSet& c, int u, int v) {
+  int& id = c.edge_id[static_cast<std::size_t>(u) * c.n + v];
+  if (id < 0) {
+    id = c.num_edges++;
+    c.edge_src.push_back(u);
+    c.edge_dst.push_back(v);
+  }
+  return id;
+}
+
+}  // namespace
+
+CompiledPathSet compile_paths(const PathSet& ps) {
+  const int n = ps.num_nodes();
+  CompiledPathSet c;
+  c.n = n;
+  c.edge_id.assign(static_cast<std::size_t>(n) * n, -1);
+  c.flow_of_pair.assign(static_cast<std::size_t>(n) * n, -1);
+
+  c.path_begin.push_back(0);
+  c.edge_begin.push_back(0);
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = ps.at(s, d);
+      if (alts.empty()) continue;
+      c.flow_of_pair[static_cast<std::size_t>(s) * n + d] = c.num_flows();
+      c.flow_s.push_back(s);
+      c.flow_d.push_back(d);
+      for (const Path& p : alts) {
+        for (std::size_t i = 0; i + 1 < p.size(); ++i)
+          c.path_edges.push_back(intern_edge(c, p[i], p[i + 1]));
+        c.edge_begin.push_back(static_cast<std::int32_t>(c.path_edges.size()));
+      }
+      c.path_begin.push_back(c.num_paths());
+    }
+  }
+  return c;
+}
+
+// Mirrors dfs_paths in routing/paths.cpp exactly (same pruning, same
+// sorted-neighbour order, same cap semantics), but emits interned edge ids
+// instead of router-sequence Paths.
+void PathCompiler::dfs(const util::Matrix<int>& dist, int d, int cap,
+                       CompiledPathSet& out) {
+  const int u = prefix_.back();
+  if (u == d) {
+    for (std::size_t i = 0; i + 1 < prefix_.size(); ++i)
+      out.path_edges.push_back(intern_edge(out, prefix_[i], prefix_[i + 1]));
+    out.edge_begin.push_back(static_cast<std::int32_t>(out.path_edges.size()));
+    ++emitted_;
+    return;
+  }
+  if (emitted_ >= cap) return;
+  const int s = prefix_.front();
+  for (int v : adj_[u]) {
+    if (dist(s, u) + 1 + dist(v, d) != dist(s, d)) continue;
+    if (dist(s, v) != dist(s, u) + 1) continue;
+    prefix_.push_back(v);
+    dfs(dist, d, cap, out);
+    prefix_.pop_back();
+    if (emitted_ >= cap) return;
+  }
+}
+
+void PathCompiler::enumerate(const topo::DiGraph& g,
+                             const util::Matrix<int>& dist,
+                             int max_paths_per_flow, CompiledPathSet& out) {
+  const int n = g.num_nodes();
+  if (static_cast<int>(adj_.size()) != n) adj_.resize(n);
+  for (int u = 0; u < n; ++u) {
+    const auto& nbrs = g.out_neighbors(u);
+    adj_[u].assign(nbrs.begin(), nbrs.end());
+    std::sort(adj_[u].begin(), adj_[u].end());
+  }
+
+  out.n = n;
+  out.num_edges = 0;
+  out.edge_src.clear();
+  out.edge_dst.clear();
+  out.edge_id.assign(static_cast<std::size_t>(n) * n, -1);
+  out.flow_s.clear();
+  out.flow_d.clear();
+  out.flow_of_pair.assign(static_cast<std::size_t>(n) * n, -1);
+  out.path_begin.clear();
+  out.path_begin.push_back(0);
+  out.edge_begin.clear();
+  out.edge_begin.push_back(0);
+  out.path_edges.clear();
+
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d || dist(s, d) >= topo::kUnreachable) continue;
+      const int before = out.num_paths();
+      prefix_.clear();
+      prefix_.push_back(s);
+      emitted_ = 0;
+      dfs(dist, d, max_paths_per_flow, out);
+      if (out.num_paths() > before) {
+        out.flow_of_pair[static_cast<std::size_t>(s) * n + d] =
+            out.num_flows();
+        out.flow_s.push_back(s);
+        out.flow_d.push_back(d);
+        out.path_begin.push_back(out.num_paths());
+      }
+    }
+  }
+}
+
+}  // namespace netsmith::routing

@@ -2,171 +2,383 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <numeric>
 #include <tuple>
 
 namespace netsmith::routing {
 
+LoadObjective LoadObjective::of(const std::vector<double>& loads) {
+  LoadObjective o;
+  for (double v : loads) {
+    o.sumsq += v * v;
+    if (v > o.max) {
+      o.max = v;
+      o.at_max = 1;
+    } else if (v == o.max) {
+      ++o.at_max;
+    }
+  }
+  return o;
+}
+
 namespace {
 
-struct Flow {
-  int s = 0, d = 0;
-  double weight = 1.0;
-  int choice = 0;
-};
+// ---------------------------------------------------------------------------
+// Objective evaluators. Both run on the compiled path set and expose the
+// same interface to the shared local-search driver:
+//   current()         objective of the present loads
+//   eval_add(p, w)    objective if path p gained w more load (pure, w >= 0)
+//   apply(p, w)       commit w (possibly negative) along path p
+//   load(e)           present load of dense edge e
+// The *only* difference between them is evaluation strategy, which is what
+// makes the scan engine a faithful oracle for the incremental one.
 
-// Edge-id mapping over the links that appear in at least one path.
-struct EdgeIndex {
-  std::map<std::pair<int, int>, int> id;
-  int intern(int u, int v) {
-    auto [it, inserted] = id.emplace(std::make_pair(u, v),
-                                     static_cast<int>(id.size()));
-    return it->second;
-  }
-};
+// Scan engine: eval_add walks every interned edge (O(links)), overlaying +w
+// on the candidate path's edges during the scan. The overlay reads
+// loads[e] + w exactly like a mutated array would, but never writes, so the
+// loads array sees only committed ±w operations — identical history to the
+// flat engine's.
+class ScanEvaluator {
+ public:
+  explicit ScanEvaluator(const CompiledPathSet& cps)
+      : cps_(cps), loads_(cps.num_edges, 0.0), on_path_(cps.num_edges, 0) {}
 
-// Sorted-load-profile objective: (max, #links at max, sum of squares).
-struct LoadObjective {
-  double max = 0.0;
-  int at_max = 0;
-  double sumsq = 0.0;
+  double load(int e) const { return loads_[e]; }
 
-  static LoadObjective of(const std::vector<double>& loads) {
+  LoadObjective current() const { return LoadObjective::of(loads_); }
+
+  LoadObjective eval_add(int p, double w) {
+    const std::int32_t* e = cps_.edges_of(p);
+    const int len = cps_.path_length(p);
+    for (int i = 0; i < len; ++i) on_path_[e[i]] = 1;
     LoadObjective o;
-    for (double v : loads) {
+    for (int idx = 0; idx < cps_.num_edges; ++idx) {
+      const double v = on_path_[idx] ? loads_[idx] + w : loads_[idx];
       o.sumsq += v * v;
-      if (v > o.max + 1e-12) {
+      if (v > o.max) {
         o.max = v;
         o.at_max = 1;
-      } else if (v > o.max - 1e-12) {
+      } else if (v == o.max) {
         ++o.at_max;
       }
     }
+    for (int i = 0; i < len; ++i) on_path_[e[i]] = 0;
     return o;
   }
 
-  bool better_than(const LoadObjective& o) const {
-    if (max < o.max - 1e-12) return true;
-    if (max > o.max + 1e-12) return false;
-    if (at_max != o.at_max) return at_max < o.at_max;
-    return sumsq < o.sumsq - 1e-12;
+  void apply(int p, double w) {
+    const std::int32_t* e = cps_.edges_of(p);
+    const int len = cps_.path_length(p);
+    for (int i = 0; i < len; ++i) loads_[e[i]] += w;
   }
+
+ private:
+  const CompiledPathSet& cps_;
+  std::vector<double> loads_;
+  std::vector<std::uint8_t> on_path_;
 };
 
-void apply_path(std::vector<double>& loads, const EdgeIndex& ei, const Path& p,
-                double w) {
-  for (std::size_t i = 0; i + 1 < p.size(); ++i)
-    loads[ei.id.at({p[i], p[i + 1]})] += w;
+// Flat incremental engine: maintains (max, at_max, sumsq) under ±w edge
+// deltas through a load histogram, so eval_add costs O(path length).
+//
+//  - Uniform unit-weight searches (the default everywhere: empty
+//    flow_weight means every flow weighs exactly 1.0) keep a dense integer
+//    histogram hist[level] = #edges carrying exactly `level` flows; loads
+//    are exact small integers, updates are O(1), and the running max only
+//    ever steps down one level at a time (amortized O(1)).
+//  - General weights fall back to an ordered bucket map keyed by the exact
+//    load value (loads are sums of subsets of the flow weights, so the
+//    bucket count stays tiny); updates are O(log #distinct values).
+//
+// Invariants after every apply():
+//   obj_.max    == max(loads_)                  (exactly)
+//   obj_.at_max == #{e : loads_[e] == obj_.max} (exact double equality)
+//   obj_.sumsq  == sum loads² up to float associativity; bit-equal to a
+//                  fresh scan whenever weights and loads are exactly
+//                  representable (integers / dyadic rationals).
+class FlatEvaluator {
+ public:
+  FlatEvaluator(const CompiledPathSet& cps, bool unit_weights)
+      : cps_(cps), loads_(cps.num_edges, 0.0), unit_(unit_weights) {
+    obj_.max = 0.0;
+    obj_.at_max = cps_.num_edges;
+    obj_.sumsq = 0.0;
+    if (unit_) {
+      level_.assign(cps_.num_edges, 0);
+      hist_.assign(1, cps_.num_edges);
+      max_level_ = 0;
+    } else {
+      buckets_[0.0] = cps_.num_edges;
+    }
+  }
+
+  double load(int e) const { return loads_[e]; }
+
+  const LoadObjective& current() const { return obj_; }
+
+  LoadObjective eval_add(int p, double w) {
+    const int len = cps_.path_length(p);
+    if (w == 0.0 || len == 0) return obj_;
+    const std::int32_t* e = cps_.edges_of(p);
+    LoadObjective o = obj_;
+    // A shortest path never repeats an edge, so the per-edge deltas below
+    // are independent.
+    double m = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < len; ++i) {
+      const double old = loads_[e[i]];
+      const double nv = old + w;
+      o.sumsq += nv * nv - old * old;
+      if (nv > m) m = nv;
+    }
+    if (m > obj_.max) {
+      // New global max: only path edges can reach it (w > 0 lifted them).
+      int c = 0;
+      for (int i = 0; i < len; ++i)
+        if (loads_[e[i]] + w == m) ++c;
+      o.max = m;
+      o.at_max = c;
+    } else if (m == obj_.max) {
+      // Path edges landing exactly on the standing max join at_max; none of
+      // them was there before (their old load is strictly below nv <= max).
+      int c = 0;
+      for (int i = 0; i < len; ++i)
+        if (loads_[e[i]] + w == m) ++c;
+      o.at_max += c;
+    }
+    // m < max: no path edge was at the max (old < nv <= m < max), so max
+    // and at_max are untouched.
+    return o;
+  }
+
+  void apply(int p, double w) {
+    const std::int32_t* e = cps_.edges_of(p);
+    const int len = cps_.path_length(p);
+    for (int i = 0; i < len; ++i) add(e[i], w);
+  }
+
+ private:
+  void add(int e, double w) {
+    const double old = loads_[e];
+    const double nv = old + w;
+    loads_[e] = nv;
+    obj_.sumsq += nv * nv - old * old;
+    if (unit_) {
+      // w is exactly ±1.0 here.
+      const int ol = level_[e];
+      const int nl = w > 0.0 ? ol + 1 : ol - 1;
+      level_[e] = nl;
+      --hist_[ol];
+      if (nl >= static_cast<int>(hist_.size())) hist_.resize(nl + 1, 0);
+      ++hist_[nl];
+      if (nl > max_level_) {
+        max_level_ = nl;
+      } else if (ol == max_level_ && hist_[ol] == 0) {
+        while (max_level_ > 0 && hist_[max_level_] == 0) --max_level_;
+      }
+      obj_.max = static_cast<double>(max_level_);
+      obj_.at_max = hist_[max_level_];
+    } else {
+      const auto it = buckets_.find(old);
+      if (--(it->second) == 0) buckets_.erase(it);
+      ++buckets_[nv];
+      const auto top = buckets_.begin();
+      obj_.max = top->first;
+      obj_.at_max = top->second;
+    }
+  }
+
+  const CompiledPathSet& cps_;
+  std::vector<double> loads_;
+  LoadObjective obj_;
+  bool unit_;
+  std::vector<int> level_;  // unit mode: flows on edge (== load exactly)
+  std::vector<int> hist_;
+  int max_level_ = 0;
+  std::map<double, int, std::greater<double>> buckets_;  // general mode
+};
+
+// Per-flow weights in compiled flow order; returns (weights, wmax).
+std::pair<std::vector<double>, double> flow_weights(
+    const CompiledPathSet& cps, const std::vector<double>& flow_weight) {
+  const int f_count = cps.num_flows();
+  std::vector<double> w(f_count, 1.0);
+  if (!flow_weight.empty())
+    for (int f = 0; f < f_count; ++f)
+      w[f] = flow_weight[static_cast<std::size_t>(cps.flow_s[f]) * cps.n +
+                         cps.flow_d[f]];
+  double wmax = 0.0;
+  for (double v : w) wmax = std::max(wmax, v);
+  return {std::move(w), wmax};
 }
 
-}  // namespace
+// Shared local-search driver. The decision sequence (greedy construction
+// order, candidate order, comparisons) is fully determined by (cps, w, eps)
+// and the objective tuples the evaluator returns — run it with the scan and
+// the flat evaluator and any divergence is an incremental-maintenance bug.
+template <class Eval>
+MclbResult run_local_search(const CompiledPathSet& cps,
+                            const std::vector<double>& w, double eps,
+                            int max_rounds, Eval& ev) {
+  const int n = cps.n;
+  const int f_count = cps.num_flows();
 
-MclbResult mclb_local_search(const PathSet& ps,
-                             const std::vector<double>& flow_weight,
-                             int max_rounds) {
-  const int n = ps.num_nodes();
-  MclbResult result;
-  result.choice.assign(static_cast<std::size_t>(n) * n, 0);
+  std::vector<int> choice(f_count, 0);
 
-  // Collect flows and intern every edge used by any candidate path.
-  std::vector<Flow> flows;
-  EdgeIndex ei;
-  for (int s = 0; s < n; ++s)
-    for (int d = 0; d < n; ++d) {
-      if (s == d || ps.at(s, d).empty()) continue;
-      Flow f;
-      f.s = s;
-      f.d = d;
-      if (!flow_weight.empty())
-        f.weight = flow_weight[static_cast<std::size_t>(s) * n + d];
-      flows.push_back(f);
-      for (const auto& p : ps.at(s, d))
-        for (std::size_t i = 0; i + 1 < p.size(); ++i) ei.intern(p[i], p[i + 1]);
-    }
-
-  std::vector<double> loads(ei.id.size(), 0.0);
-
-  // Greedy construction: longest flows first (hardest to place).
-  std::vector<int> order(flows.size());
-  for (std::size_t i = 0; i < flows.size(); ++i) order[i] = static_cast<int>(i);
+  // Greedy construction: longest flows first (hardest to place), ties by
+  // flow index.
+  std::vector<int> order(f_count);
+  std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const auto la = ps.at(flows[a].s, flows[a].d)[0].size();
-    const auto lb = ps.at(flows[b].s, flows[b].d)[0].size();
+    const int la = cps.path_length(cps.path_begin[a]);
+    const int lb = cps.path_length(cps.path_begin[b]);
     if (la != lb) return la > lb;
     return a < b;
   });
 
-  for (int fi : order) {
-    Flow& f = flows[fi];
-    const auto& alts = ps.at(f.s, f.d);
+  for (int f : order) {
+    const int pb = cps.path_begin[f], pe = cps.path_begin[f + 1];
     int best_k = 0;
-    LoadObjective best_obj;
+    LoadObjective best;
     bool first = true;
-    for (int k = 0; k < static_cast<int>(alts.size()); ++k) {
-      apply_path(loads, ei, alts[k], f.weight);
-      const auto obj = LoadObjective::of(loads);
-      apply_path(loads, ei, alts[k], -f.weight);
-      if (first || obj.better_than(best_obj)) {
-        best_obj = obj;
-        best_k = k;
+    for (int p = pb; p < pe; ++p) {
+      const auto obj = ev.eval_add(p, w[f]);
+      if (first || obj.better_than(best, eps)) {
+        best = obj;
+        best_k = p - pb;
         first = false;
       }
     }
-    f.choice = best_k;
-    apply_path(loads, ei, alts[best_k], f.weight);
+    choice[f] = best_k;
+    ev.apply(pb + best_k, w[f]);
   }
 
-  // Improvement: reroute flows crossing maximally loaded channels.
+  // Improvement: reroute flows crossing maximally loaded channels; accept
+  // only lexicographic improvements of the load profile, so it terminates.
   long iters = 0;
   for (int round = 0; round < max_rounds; ++round) {
     bool improved = false;
-    LoadObjective cur = LoadObjective::of(loads);
-    for (std::size_t fi = 0; fi < flows.size(); ++fi) {
-      Flow& f = flows[fi];
-      const auto& alts = ps.at(f.s, f.d);
-      if (alts.size() < 2) continue;
-      // Only consider flows that currently touch a maximal channel.
+    LoadObjective cur = ev.current();
+    for (int f = 0; f < f_count; ++f) {
+      const int pb = cps.path_begin[f], pe = cps.path_begin[f + 1];
+      if (pe - pb < 2) continue;
+      const int curp = pb + choice[f];
+      const std::int32_t* ce = cps.edges_of(curp);
+      const int clen = cps.path_length(curp);
       bool on_max = false;
-      const auto& curp = alts[f.choice];
-      for (std::size_t i = 0; i + 1 < curp.size() && !on_max; ++i)
-        if (loads[ei.id.at({curp[i], curp[i + 1]})] > cur.max - 1e-12)
-          on_max = true;
+      for (int i = 0; i < clen && !on_max; ++i)
+        if (ev.load(ce[i]) > cur.max - eps) on_max = true;
       if (!on_max) continue;
 
-      apply_path(loads, ei, curp, -f.weight);
-      int best_k = f.choice;
-      LoadObjective best_obj = cur;
-      for (int k = 0; k < static_cast<int>(alts.size()); ++k) {
-        if (k == f.choice) continue;
+      ev.apply(curp, -w[f]);
+      int best_k = choice[f];
+      LoadObjective best = cur;
+      for (int p = pb; p < pe; ++p) {
+        if (p - pb == choice[f]) continue;
         ++iters;
-        apply_path(loads, ei, alts[k], f.weight);
-        const auto obj = LoadObjective::of(loads);
-        apply_path(loads, ei, alts[k], -f.weight);
-        if (obj.better_than(best_obj)) {
-          best_obj = obj;
-          best_k = k;
+        const auto obj = ev.eval_add(p, w[f]);
+        if (obj.better_than(best, eps)) {
+          best = obj;
+          best_k = p - pb;
         }
       }
-      apply_path(loads, ei, alts[best_k], f.weight);
-      if (best_k != f.choice) {
-        f.choice = best_k;
-        cur = best_obj;
+      ev.apply(pb + best_k, w[f]);
+      if (best_k != choice[f]) {
+        choice[f] = best_k;
+        cur = best;
         improved = true;
       }
     }
     if (!improved) break;
   }
 
-  for (const Flow& f : flows)
-    result.choice[static_cast<std::size_t>(f.s) * n + f.d] = f.choice;
-  result.max_flows_on_link = static_cast<int>(
-      std::lround(*std::max_element(loads.begin(), loads.end())));
-  result.max_load = *std::max_element(loads.begin(), loads.end()) / (n - 1);
+  MclbResult result;
+  result.choice.assign(static_cast<std::size_t>(n) * n, 0);
+  for (int f = 0; f < f_count; ++f)
+    result.choice[static_cast<std::size_t>(cps.flow_s[f]) * n +
+                  cps.flow_d[f]] = choice[f];
+  result.objective = ev.current();
+  result.max_flows_on_link = static_cast<int>(std::lround(result.objective.max));
+  result.max_load = result.objective.max / (n - 1);
   result.iterations = iters;
   return result;
 }
 
-MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts) {
+bool all_unit(const std::vector<double>& w) {
+  for (double v : w)
+    if (v != 1.0) return false;
+  return true;
+}
+
+// Load profile of a unit-weight choice vector, recomputed from scratch
+// (used to report the MILP solution's objective in the same terms the
+// local-search engines maintain). Interns candidate edges directly — links
+// that appear only on unchosen paths carry zero load but still count in
+// at_max, exactly as in the search engines' edge universe.
+LoadObjective objective_of_choice(const PathSet& ps,
+                                  const std::vector<int>& choice) {
+  const int n = ps.num_nodes();
+  std::vector<int> id(static_cast<std::size_t>(n) * n, -1);
+  std::vector<double> loads;
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      for (const Path& p : ps.at(s, d))
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+          int& e = id[static_cast<std::size_t>(p[i]) * n + p[i + 1]];
+          if (e < 0) {
+            e = static_cast<int>(loads.size());
+            loads.push_back(0.0);
+          }
+        }
+    }
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto& alts = ps.at(s, d);
+      if (alts.empty()) continue;
+      const Path& p = alts[choice[static_cast<std::size_t>(s) * n + d]];
+      for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        loads[id[static_cast<std::size_t>(p[i]) * n + p[i + 1]]] += 1.0;
+    }
+  return LoadObjective::of(loads);
+}
+
+}  // namespace
+
+MclbResult mclb_local_search(const CompiledPathSet& cps,
+                             const std::vector<double>& flow_weight,
+                             int max_rounds) {
+  auto [w, wmax] = flow_weights(cps, flow_weight);
+  FlatEvaluator ev(cps, all_unit(w));
+  return run_local_search(cps, w, LoadObjective::tolerance(wmax), max_rounds,
+                          ev);
+}
+
+MclbResult mclb_local_search(const PathSet& ps,
+                             const std::vector<double>& flow_weight,
+                             int max_rounds) {
+  return mclb_local_search(compile_paths(ps), flow_weight, max_rounds);
+}
+
+MclbResult mclb_local_search_scan(const CompiledPathSet& cps,
+                                  const std::vector<double>& flow_weight,
+                                  int max_rounds) {
+  auto [w, wmax] = flow_weights(cps, flow_weight);
+  ScanEvaluator ev(cps);
+  return run_local_search(cps, w, LoadObjective::tolerance(wmax), max_rounds,
+                          ev);
+}
+
+MclbResult mclb_local_search_scan(const PathSet& ps,
+                                  const std::vector<double>& flow_weight,
+                                  int max_rounds) {
+  return mclb_local_search_scan(compile_paths(ps), flow_weight, max_rounds);
+}
+
+MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts,
+                      const MclbResult* incumbent) {
   const int n = ps.num_nodes();
 
   lp::Model m;
@@ -207,8 +419,9 @@ MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts) {
   }
   m.set_sense(lp::Sense::kMinimize);
 
-  // Seed the bound with the local-search incumbent (valid upper bound).
-  const auto ls = mclb_local_search(ps);
+  // Seed the bound with the local-search incumbent (valid upper bound) —
+  // the caller's, when provided, so mclb_route's search is not repeated.
+  const MclbResult ls = incumbent ? *incumbent : mclb_local_search(ps);
   m.var(t).ub = ls.max_flows_on_link;
 
   const auto sol = lp::solve_milp(m, opts);
@@ -226,6 +439,7 @@ MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts) {
       result.choice[static_cast<std::size_t>(pv.s) * n + pv.d] = pv.k;
   result.max_flows_on_link = static_cast<int>(std::lround(sol.x[t]));
   result.max_load = sol.x[t] / (n - 1);
+  result.objective = objective_of_choice(ps, result.choice);
   result.iterations = sol.iterations;
   result.proven_optimal = true;
   return result;
@@ -322,7 +536,7 @@ MclbResult mclb_route(const PathSet& ps, int exact_path_limit) {
   lp::MilpOptions opts;
   opts.time_limit_s = 20.0;
   opts.lp.time_limit_s = 20.0;
-  const auto exact = mclb_exact(ps, opts);
+  const auto exact = mclb_exact(ps, opts, &ls);
   return exact.max_flows_on_link <= ls.max_flows_on_link ? exact : ls;
 }
 

@@ -21,9 +21,12 @@ bool PathSet::all_flows_covered() const {
 
 namespace {
 
-// Depth-first enumeration over the shortest-path DAG for flow (s, d).
-void dfs_paths(const topo::DiGraph& g, const util::Matrix<int>& dist, int d,
-               int cap, Path& prefix, std::vector<Path>& out) {
+// Depth-first enumeration over the shortest-path DAG for flow (s, d). adj
+// holds each node's out-neighbours presorted once per enumeration (sorted
+// order keeps enumeration deterministic without re-sorting on every visit).
+void dfs_paths(const std::vector<std::vector<int>>& adj,
+               const util::Matrix<int>& dist, int d, int cap, Path& prefix,
+               std::vector<Path>& out) {
   const int u = prefix.back();
   if (u == d) {
     out.push_back(prefix);
@@ -31,14 +34,11 @@ void dfs_paths(const topo::DiGraph& g, const util::Matrix<int>& dist, int d,
   }
   if (static_cast<int>(out.size()) >= cap) return;
   const int s = prefix.front();
-  // Sorted neighbour order keeps enumeration deterministic.
-  std::vector<int> nbrs = g.out_neighbors(u);
-  std::sort(nbrs.begin(), nbrs.end());
-  for (int v : nbrs) {
+  for (int v : adj[u]) {
     if (dist(s, u) + 1 + dist(v, d) != dist(s, d)) continue;
     if (dist(s, v) != dist(s, u) + 1) continue;
     prefix.push_back(v);
-    dfs_paths(g, dist, d, cap, prefix, out);
+    dfs_paths(adj, dist, d, cap, prefix, out);
     prefix.pop_back();
     if (static_cast<int>(out.size()) >= cap) return;
   }
@@ -46,18 +46,29 @@ void dfs_paths(const topo::DiGraph& g, const util::Matrix<int>& dist, int d,
 
 }  // namespace
 
-PathSet enumerate_shortest_paths(const topo::DiGraph& g, int max_paths_per_flow) {
+PathSet enumerate_shortest_paths_from_dist(const topo::DiGraph& g,
+                                           const util::Matrix<int>& dist,
+                                           int max_paths_per_flow) {
   const int n = g.num_nodes();
-  const auto dist = topo::apsp_bfs(g);
+  std::vector<std::vector<int>> adj(n);
+  for (int u = 0; u < n; ++u) {
+    adj[u] = g.out_neighbors(u);
+    std::sort(adj[u].begin(), adj[u].end());
+  }
   PathSet ps(n);
   for (int s = 0; s < n; ++s) {
     for (int d = 0; d < n; ++d) {
       if (s == d || dist(s, d) >= topo::kUnreachable) continue;
       Path prefix{s};
-      dfs_paths(g, dist, d, max_paths_per_flow, prefix, ps.at(s, d));
+      dfs_paths(adj, dist, d, max_paths_per_flow, prefix, ps.at(s, d));
     }
   }
   return ps;
+}
+
+PathSet enumerate_shortest_paths(const topo::DiGraph& g, int max_paths_per_flow) {
+  return enumerate_shortest_paths_from_dist(g, topo::apsp_bfs(g),
+                                            max_paths_per_flow);
 }
 
 bool is_shortest_path(const topo::DiGraph& g, const util::Matrix<int>& dist,

@@ -39,10 +39,19 @@ class PathSet {
 
 // Enumerates shortest paths per flow by DFS over the shortest-path DAG
 // (edge (u,v) lies on a shortest s->d path iff
-// dist(s,u) + 1 + dist(v,d) == dist(s,d)). Deterministic neighbour order;
-// at most max_paths_per_flow paths are kept per flow.
+// dist(s,u) + 1 + dist(v,d) == dist(s,d)). Deterministic neighbour order
+// (adjacency is sorted once per enumeration, not per DFS visit); at most
+// max_paths_per_flow paths are kept per flow.
 PathSet enumerate_shortest_paths(const topo::DiGraph& g,
                                  int max_paths_per_flow = 64);
+
+// Same, but reuses a caller-provided APSP matrix (dist(i, j) = hop count,
+// topo::kUnreachable when disconnected) instead of running a second BFS
+// sweep — the annealer's channel-load move evaluator already has the
+// accepted move's APSP in hand. dist must match g.
+PathSet enumerate_shortest_paths_from_dist(const topo::DiGraph& g,
+                                           const util::Matrix<int>& dist,
+                                           int max_paths_per_flow = 64);
 
 // True iff p is a path in g (consecutive nodes linked) of length
 // dist(s,d) — i.e. a genuine shortest path.

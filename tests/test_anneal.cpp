@@ -4,6 +4,8 @@
 
 #include "core/netsmith.hpp"
 #include "core/objective.hpp"
+#include "routing/mclb.hpp"
+#include "routing/paths.hpp"
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
 #include "topo/metrics.hpp"
@@ -154,6 +156,94 @@ TEST(Anneal, MoveBudgetDeterministicAcrossRuns) {
   const auto b = anneal_synthesize(cfg, opts);
   EXPECT_TRUE(a.graph == b.graph);
   EXPECT_EQ(a.objective_value, b.objective_value);
+}
+
+// MCLB max normalized channel load under full shortest-path enumeration —
+// the deployment-quality routing the synthesized topology would ship with.
+double routed_max_load(const topo::DiGraph& g) {
+  return routing::mclb_local_search(routing::enumerate_shortest_paths(g))
+      .max_load;
+}
+
+// Route-aware synthesis (paper-scale n = 20): optimizing max channel load
+// directly — running the compiled path-enum -> MCLB pipeline inside every
+// move — must match or beat the hop-count proxy on the load metric.
+TEST(Anneal, ChannelLoadObjectiveBeatsHopProxyOnLoad) {
+  SynthesisConfig cfg;
+  cfg.layout = topo::Layout::noi_4x5();
+  cfg.link_class = topo::LinkClass::kMedium;
+  cfg.radix = 4;
+  cfg.restarts = 2;
+  cfg.seed = 9;
+  AnnealOptions opts;
+  opts.max_moves = 2500;  // move-budgeted: deterministic and load-insensitive
+
+  cfg.objective = Objective::kLatOp;
+  const auto lat = anneal_synthesize(cfg, opts);
+  cfg.objective = Objective::kChannelLoad;
+  const auto cl = anneal_synthesize(cfg, opts);
+
+  EXPECT_TRUE(topo::strongly_connected(cl.graph));
+  EXPECT_TRUE(topo::respects_radix(cl.graph, cfg.radix));
+  EXPECT_TRUE(topo::respects_link_class(cl.graph, cfg.layout, cfg.link_class));
+
+  EXPECT_LE(routed_max_load(cl.graph), routed_max_load(lat.graph) + 1e-12);
+
+  // objective_value is exactly what the move evaluator saw: the capped
+  // pipeline re-run on the returned graph reproduces it.
+  const auto capped = routing::enumerate_shortest_paths(
+      cl.graph, cfg.anneal_paths_per_flow);
+  EXPECT_NEAR(cl.objective_value,
+              routing::mclb_local_search(capped, {}, cfg.anneal_mclb_rounds)
+                  .max_load,
+              1e-12);
+  EXPECT_GE(cl.objective_value + 1e-9, cl.bound);  // analytic load bound
+}
+
+TEST(Anneal, LatLoadCombinedObjectiveBalancesBoth) {
+  SynthesisConfig cfg;
+  cfg.layout = topo::Layout::noi_4x5();
+  cfg.link_class = topo::LinkClass::kMedium;
+  cfg.radix = 4;
+  cfg.restarts = 2;
+  cfg.seed = 9;
+  AnnealOptions opts;
+  opts.max_moves = 2500;
+
+  cfg.objective = Objective::kLatOp;
+  const auto lat = anneal_synthesize(cfg, opts);
+  cfg.objective = Objective::kLatLoad;
+  const auto ll = anneal_synthesize(cfg, opts);
+
+  EXPECT_TRUE(topo::strongly_connected(ll.graph));
+  // The combined mode may trade a little latency for load, but not much...
+  EXPECT_LE(topo::average_hops(ll.graph), topo::average_hops(lat.graph) + 0.2);
+  // ...and must not ship a worse bottleneck than the hop-only proxy.
+  EXPECT_LE(routed_max_load(ll.graph), routed_max_load(lat.graph) + 1e-12);
+}
+
+// The route-aware scoring path must preserve the parallel-restart
+// determinism contract: move-budgeted runs are bit-exact across thread
+// counts.
+TEST(Anneal, ParallelRestartsBitExactChannelLoad) {
+  SynthesisConfig cfg;
+  cfg.layout = topo::Layout{2, 3, 2.0};
+  cfg.link_class = topo::LinkClass::kMedium;
+  cfg.radix = 3;
+  cfg.objective = Objective::kChannelLoad;
+  cfg.restarts = 3;
+  cfg.seed = 11;
+  AnnealOptions serial;
+  serial.threads = 1;
+  serial.max_moves = 1200;
+  AnnealOptions parallel = serial;
+  parallel.threads = 3;
+  const auto a = anneal_synthesize(cfg, serial);
+  const auto b = anneal_synthesize(cfg, parallel);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
 }
 
 TEST(Anneal, FillsPortBudgetOnLargerInstance) {

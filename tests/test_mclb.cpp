@@ -75,6 +75,33 @@ TEST(MclbRoute, DispatchesAndStaysConsistent) {
   EXPECT_TRUE(r.table(ps).consistent_with(g));
 }
 
+TEST(MclbExact, AcceptsCallerIncumbent) {
+  // Passing the local-search incumbent must not change the optimum — it
+  // only spares mclb_exact from repeating the search internally.
+  const topo::Layout lay{2, 3, 2.0};
+  const auto g = topo::build_mesh(lay);
+  const auto ps = enumerate_shortest_paths(g);
+  const auto ls = mclb_local_search(ps);
+  lp::MilpOptions opts;
+  opts.time_limit_s = 15.0;
+  const auto with = mclb_exact(ps, opts, &ls);
+  const auto without = mclb_exact(ps, opts);
+  EXPECT_EQ(with.max_flows_on_link, without.max_flows_on_link);
+  EXPECT_EQ(with.proven_optimal, without.proven_optimal);
+  EXPECT_LE(with.max_flows_on_link, ls.max_flows_on_link);
+}
+
+TEST(MclbLocalSearch, FlatAndScanEnginesAgree) {
+  // Spot check of the oracle contract on a paper-scale instance (the full
+  // randomized suite lives in test_mclb_incremental.cpp).
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto ps = enumerate_shortest_paths(g);
+  const auto flat = mclb_local_search(ps);
+  const auto scan = mclb_local_search_scan(ps);
+  EXPECT_EQ(flat.choice, scan.choice);
+  EXPECT_TRUE(flat.objective.identical(scan.objective));
+}
+
 TEST(MclbWeighted, HeavyFlowAvoidsSharedLink) {
   // Two parallel routes; weighted flow should grab the dedicated one.
   topo::DiGraph g(4);

@@ -1,0 +1,218 @@
+// Randomized equivalence suite for the flat incremental MCLB engine
+// (routing/mclb.cpp, FlatEvaluator) against the retained scan-based oracle:
+// identical decision sequences must produce bit-identical path choices and
+// bit-identical LoadObjective values, and the incrementally maintained
+// objective must equal a fresh LoadObjective::of scan of the final loads.
+//
+// Weights in the weighted configs are dyadic rationals (multiples of 0.5),
+// so every load, delta and sum-of-squares is exactly representable and the
+// bit-identity contract holds (see the LoadObjective header comment).
+
+#include "routing/mclb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/compiled.hpp"
+#include "topo/builders.hpp"
+#include "topo/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::routing {
+namespace {
+
+// Loads recomputed from scratch (sum over chosen paths in flow order) —
+// independent of the add/remove history either engine went through.
+std::vector<double> loads_of_choice(const CompiledPathSet& cps,
+                                    const std::vector<int>& choice,
+                                    const std::vector<double>& flow_weight) {
+  std::vector<double> loads(cps.num_edges, 0.0);
+  for (int f = 0; f < cps.num_flows(); ++f) {
+    const int s = cps.flow_s[f], d = cps.flow_d[f];
+    const double w =
+        flow_weight.empty()
+            ? 1.0
+            : flow_weight[static_cast<std::size_t>(s) * cps.n + d];
+    const int p = cps.path_begin[f] + choice[static_cast<std::size_t>(s) * cps.n + d];
+    const std::int32_t* e = cps.edges_of(p);
+    for (int i = 0; i < cps.path_length(p); ++i) loads[e[i]] += w;
+  }
+  return loads;
+}
+
+void expect_equivalent(const topo::DiGraph& g, int max_paths_per_flow,
+                       const std::vector<double>& flow_weight,
+                       const std::string& tag) {
+  const auto ps = enumerate_shortest_paths(g, max_paths_per_flow);
+  const auto cps = compile_paths(ps);
+
+  const auto flat = mclb_local_search(cps, flow_weight);
+  const auto scan = mclb_local_search_scan(cps, flow_weight);
+
+  // Bit-identical decisions and iteration trajectory.
+  EXPECT_EQ(flat.choice, scan.choice) << tag;
+  EXPECT_EQ(flat.iterations, scan.iterations) << tag;
+
+  // Bit-identical objectives (max, at_max, sumsq all exact).
+  EXPECT_TRUE(flat.objective.identical(scan.objective))
+      << tag << ": flat(" << flat.objective.max << "," << flat.objective.at_max
+      << "," << flat.objective.sumsq << ") scan(" << scan.objective.max << ","
+      << scan.objective.at_max << "," << scan.objective.sumsq << ")";
+  EXPECT_EQ(flat.max_load, scan.max_load) << tag;
+  EXPECT_EQ(flat.max_flows_on_link, scan.max_flows_on_link) << tag;
+
+  // The incremental state equals a from-scratch scan of the final loads.
+  const auto fresh = LoadObjective::of(loads_of_choice(cps, flat.choice,
+                                                       flow_weight));
+  EXPECT_TRUE(flat.objective.identical(fresh)) << tag << " (vs fresh scan)";
+}
+
+TEST(MclbIncrementalEquivalence, RandomGraphsAllConfigs) {
+  // >= 100 random graphs x {uniform, weighted, capped-path}. Mixed layouts
+  // and radixes so path multiplicity, load levels and histogram churn vary;
+  // includes disconnected graphs (flows without candidates are skipped by
+  // both engines identically).
+  const topo::Layout layouts[] = {{3, 4, 2.0}, {4, 4, 2.0}, {4, 5, 2.0}};
+  util::Rng wrng(0xBADBEEF);
+  int graphs = 0;
+  for (int iter = 0; iter < 102; ++iter) {
+    const auto& lay = layouts[iter % 3];
+    const int radix = 3 + iter % 2;
+    util::Rng rng(1000 + iter);
+    const auto g = topo::build_random(lay, topo::LinkClass::kMedium, radix, rng);
+    ++graphs;
+    const std::string tag = "graph " + std::to_string(iter);
+
+    // Uniform all-to-all (unit weights -> dense integer histogram path).
+    expect_equivalent(g, 64, {}, tag + " uniform");
+
+    // Weighted: dyadic weights (k * 0.5, k in 1..6) -> ordered-bucket path.
+    const int n = lay.n();
+    std::vector<double> w(static_cast<std::size_t>(n) * n, 0.0);
+    for (int s = 0; s < n; ++s)
+      for (int d = 0; d < n; ++d)
+        if (s != d) w[static_cast<std::size_t>(s) * n + d] =
+            0.5 * static_cast<double>(wrng.uniform_int(1, 6));
+    expect_equivalent(g, 64, w, tag + " weighted");
+
+    // Capped path set (4 per flow): different candidate geometry, more
+    // contention per kept path.
+    expect_equivalent(g, 4, {}, tag + " capped");
+  }
+  EXPECT_GE(graphs, 100);
+}
+
+TEST(MclbIncrementalEquivalence, HistogramCrossesBucketBoundaries) {
+  // A 2xN mesh funnels many flows through few vertical links: the greedy
+  // construction stacks loads level by level and the improvement rounds
+  // drain maximal channels back down, so the histogram's running max both
+  // grows past freshly allocated buckets and steps down across emptied
+  // ones. The dense integer path (uniform) and the ordered-bucket path
+  // (weighted) must both track it exactly.
+  const auto g = topo::build_mesh(topo::Layout{2, 6, 2.0});
+  expect_equivalent(g, 64, {}, "2x6 mesh uniform");
+
+  const int n = 12;
+  std::vector<double> w(static_cast<std::size_t>(n) * n, 1.0);
+  // One very heavy corner-to-corner flow plus a few half-weight flows.
+  w[0 * n + (n - 1)] = 8.0;
+  w[(n - 1) * n + 0] = 8.0;
+  for (int d = 1; d < n; d += 3) w[0 * n + d] = 0.5;
+  expect_equivalent(g, 64, w, "2x6 mesh weighted");
+}
+
+TEST(MclbIncrementalEquivalence, FlatMatchesLegacyPathSetEntryPoint) {
+  // The PathSet-level entry points must agree with the compiled-level ones.
+  const auto g = topo::build_folded_torus(topo::Layout::noi_4x5());
+  const auto ps = enumerate_shortest_paths(g);
+  const auto a = mclb_local_search(ps);
+  const auto b = mclb_local_search(compile_paths(ps));
+  EXPECT_EQ(a.choice, b.choice);
+  EXPECT_TRUE(a.objective.identical(b.objective));
+  EXPECT_TRUE(a.table(ps).consistent_with(g));
+}
+
+TEST(PathCompiler, MatchesPathSetCompileAndReusesScratch) {
+  // The annealer's per-move enumerator must produce a CompiledPathSet
+  // identical to the two-step PathSet route, including across reused calls
+  // on different graphs and caps (stale state from a previous move must not
+  // leak).
+  routing::PathCompiler pc;
+  CompiledPathSet reused;
+  const int caps[] = {4, 64, 8};
+  for (int iter = 0; iter < 12; ++iter) {
+    util::Rng rng(7000 + iter);
+    const auto g = topo::build_random(topo::Layout{4, 5, 2.0},
+                                      topo::LinkClass::kMedium, 4, rng);
+    const auto dist = topo::apsp_bfs(g);
+    const int cap = caps[iter % 3];
+    const auto ref =
+        compile_paths(enumerate_shortest_paths_from_dist(g, dist, cap));
+    pc.enumerate(g, dist, cap, reused);
+    EXPECT_EQ(reused.n, ref.n);
+    EXPECT_EQ(reused.num_edges, ref.num_edges);
+    EXPECT_EQ(reused.edge_src, ref.edge_src);
+    EXPECT_EQ(reused.edge_dst, ref.edge_dst);
+    EXPECT_EQ(reused.edge_id, ref.edge_id);
+    EXPECT_EQ(reused.flow_s, ref.flow_s);
+    EXPECT_EQ(reused.flow_d, ref.flow_d);
+    EXPECT_EQ(reused.flow_of_pair, ref.flow_of_pair);
+    EXPECT_EQ(reused.path_begin, ref.path_begin);
+    EXPECT_EQ(reused.edge_begin, ref.edge_begin);
+    EXPECT_EQ(reused.path_edges, ref.path_edges);
+  }
+}
+
+TEST(LoadObjectiveTolerance, RelativeToleranceAbsorbsLargeWeightNoise) {
+  // Regression (satellite): with flow weights spanning {1e-6, 1, 1e6} the
+  // loads sit at ~1e6 where one ulp is ~1.2e-10. An absolute 1e-12 epsilon
+  // treats that summation noise as a genuine improvement; the
+  // weight-relative tolerance must not.
+  LoadObjective a{1e6, 3, 5e12};
+  LoadObjective b{1e6 + 1e-9, 3, 5e12};
+  // Old absolute-epsilon behavior: float noise looks like an improvement.
+  EXPECT_TRUE(a.better_than(b, 1e-12));
+  // Relative tolerance: neither dominates.
+  const double eps = LoadObjective::tolerance(1e6);
+  EXPECT_FALSE(a.better_than(b, eps));
+  EXPECT_FALSE(b.better_than(a, eps));
+  // Same guard on the sumsq tie-break, whose noise is quadratic in load.
+  LoadObjective c{1e6, 3, 5e12 + 1e-3};
+  EXPECT_FALSE(a.better_than(c, eps));
+  EXPECT_FALSE(c.better_than(a, eps));
+  // Genuine improvements still register.
+  LoadObjective better{1e6 - 10.0, 1, 4e12};
+  EXPECT_TRUE(better.better_than(a, eps));
+  EXPECT_FALSE(a.better_than(better, eps));
+}
+
+TEST(LoadObjectiveTolerance, ExtremeWeightSpanSearchStaysStable) {
+  // End-to-end regression: weights {1e-6, 1.0, 1e6} on a diamond with two
+  // route choices per long flow. Both engines must terminate with the same
+  // choices (the relative tolerance keeps them from churning on noise) and
+  // the heavy flows must not share a channel when parallel routes exist.
+  topo::DiGraph g(4);
+  g.add_duplex(0, 1);
+  g.add_duplex(0, 2);
+  g.add_duplex(1, 3);
+  g.add_duplex(2, 3);
+  const int n = 4;
+  std::vector<double> w(16, 1.0);
+  w[0 * n + 3] = 1e6;   // heavy forward
+  w[3 * n + 0] = 1e6;   // heavy reverse
+  w[1 * n + 2] = 1e-6;  // featherweight cross flows
+  w[2 * n + 1] = 1e-6;
+
+  const auto ps = enumerate_shortest_paths(g);
+  const auto flat = mclb_local_search(ps, w);
+  const auto scan = mclb_local_search_scan(ps, w);
+  EXPECT_EQ(flat.choice, scan.choice);
+  EXPECT_EQ(flat.iterations, scan.iterations);
+  EXPECT_TRUE(flat.table(ps).consistent_with(g));
+  // The two heavy 2-hop flows take opposite parallel routes, so the
+  // bottleneck carries exactly one heavy flow (plus sub-1.0 extras).
+  EXPECT_LT(flat.objective.max, 1e6 + 2.0);
+  EXPECT_GE(flat.objective.max, 1e6);
+}
+
+}  // namespace
+}  // namespace netsmith::routing

@@ -92,6 +92,20 @@ TEST(IsShortestPath, RejectsNonPathsAndNonMinimal) {
   EXPECT_FALSE(is_shortest_path(g, dist, {0}));           // too short
 }
 
+TEST(PathEnum, FromDistMatchesSelfComputed) {
+  // The annealer hands its move's APSP to the enumerator; the result must
+  // be identical to the self-computing entry point.
+  util::Rng rng(29);
+  const auto g = topo::build_random(topo::Layout::noi_4x5(),
+                                    topo::LinkClass::kMedium, 4, rng);
+  const auto dist = topo::apsp_bfs(g);
+  const auto a = enumerate_shortest_paths(g, 16);
+  const auto b = enumerate_shortest_paths_from_dist(g, dist, 16);
+  for (int s = 0; s < 20; ++s)
+    for (int d = 0; d < 20; ++d)
+      if (s != d) EXPECT_EQ(a.at(s, d), b.at(s, d));
+}
+
 TEST(PathSet, TotalPathsAggregates) {
   topo::DiGraph g(3);
   g.add_duplex(0, 1);
