@@ -2,14 +2,16 @@
 // every 20-router topology. Latency is the analytic zero-load estimate
 // (average hops at the class clock); throughput is the tighter of the
 // cut-based and routed channel-load bounds, in packets/node/ns.
+//
+// Declarative port: the whole figure is one ExperimentSpec (catalog +
+// parametric baselines, analytic metrics only) run through the Study API;
+// this file is just the formatter over the resulting Report.
 
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hpp"
-#include "routing/channel_load.hpp"
-#include "topo/metrics.hpp"
+#include "api/study.hpp"
 #include "util/table.hpp"
 
 using namespace netsmith;
@@ -23,37 +25,39 @@ int main() {
       "Parametric baselines (Dragonfly/CMesh/HammingMesh) ride along after "
       "the catalog rows.\n\n");
 
+  api::ExperimentSpec spec;
+  spec.name = "fig01_pareto";
+  api::TopologySpec cat;
+  cat.source = api::TopologySource::kCatalog;
+  cat.catalog_routers = 20;
+  cat.include_baselines = true;
+  spec.topologies = {cat};
+  spec.analytic = true;  // no traffic scenarios: bounds only
+
+  const api::Report report = api::run_experiment(spec);
+
   util::TablePrinter table({"class", "topology", "latency (ns)",
                             "cut bound", "routed bound", "sat est (pkt/node/ns)"});
 
   // Average packet is 5 flits (50/50 1-flit control / 9-flit data).
   constexpr double kAvgFlits = 5.0;
 
-  for (const auto& t : bench::with_baselines(topologies::catalog(20), 20)) {
-    const double clock = topo::clock_ghz(t.link_class);
-    double hop_cycles = 3.0;  // 2-cycle router + 1-cycle link
+  for (std::size_t i = 0; i < report.topologies.size(); ++i) {
+    const auto& t = report.topologies[i];
+    const auto& plan = report.plans[i];  // one seed -> one plan per row
     // Wire retiming: links beyond the class reach carry extra pipeline
     // stages; charge the per-edge average to every hop of the estimate.
-    if (t.extra_edge_delay.rows() > 0 && t.graph.num_directed_edges() > 0) {
-      long extra = 0;
-      for (const auto& [i, j] : t.graph.edges())
-        extra += t.extra_edge_delay(i, j);
-      hop_cycles += static_cast<double>(extra) / t.graph.num_directed_edges();
-    }
+    const double hop_cycles = 3.0 + t.avg_extra_edge_delay;
     const double latency_ns =
-        (topo::average_hops(t.graph) * hop_cycles + kAvgFlits) / clock;
-
-    const auto plan = core::plan_network(t.graph, t.layout,
-                                         bench::paper_policy(t), 6);
+        (t.avg_hops * hop_cycles + kAvgFlits) / t.clock_ghz;
     const double routed = 1.0 / std::max(1e-9, plan.max_channel_load);
-    const double cut = routing::cut_bound(t.graph);
-    const double sat_pkt_cycle = std::min(routed, cut) / kAvgFlits;
+    const double sat_pkt_cycle = std::min(routed, t.cut_bound) / kAvgFlits;
 
-    table.add_row({bench::class_name(t.link_class), t.name,
+    table.add_row({t.link_class, t.name,
                    util::TablePrinter::fmt(latency_ns, 2),
-                   util::TablePrinter::fmt(cut / kAvgFlits * clock, 3),
-                   util::TablePrinter::fmt(routed / kAvgFlits * clock, 3),
-                   util::TablePrinter::fmt(sat_pkt_cycle * clock, 3)});
+                   util::TablePrinter::fmt(t.cut_bound / kAvgFlits * t.clock_ghz, 3),
+                   util::TablePrinter::fmt(routed / kAvgFlits * t.clock_ghz, 3),
+                   util::TablePrinter::fmt(sat_pkt_cycle * t.clock_ghz, 3)});
   }
   table.print(std::cout);
   std::printf(

@@ -2,12 +2,15 @@
 // the 20-router (4x5) NoIs — (a) coherence traffic (uniform random, 50/50
 // control/data) and (b) memory traffic (request/reply to the MC columns).
 // Latency in ns and throughput in packets/node/ns at each class's clock.
+//
+// Declarative port: one ExperimentSpec (20-router catalog x two traffic
+// scenarios) through the Study API. Plans are built once and shared across
+// both scenarios; this file only formats the Report.
 
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hpp"
-#include "sim/sweep.hpp"
+#include "api/study.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -15,33 +18,25 @@ using namespace netsmith;
 
 namespace {
 
-void run_kind(sim::TrafficKind kind, const char* title) {
+void print_kind(const api::Report& report, const std::string& traffic,
+                const char* title) {
   std::printf("== Fig. 6%s ==\n", title);
-  util::WallTimer timer;
   util::TablePrinter table({"class", "topology", "lat@0 (ns)",
                             "saturation (pkt/node/ns)"});
-  const auto cat = topologies::catalog(20);
-  for (const auto& t : cat) {
-    const auto plan =
-        core::plan_network(t.graph, t.layout, bench::paper_policy(t), 6);
-    sim::TrafficConfig traffic;
-    traffic.kind = kind;
-    if (kind == sim::TrafficKind::kMemory)
-      traffic.mc_nodes = sim::mc_nodes(t.layout);
-    const double clock = topo::clock_ghz(t.link_class);
-    const auto sweep = sim::sweep_to_saturation(plan, traffic,
-                                                bench::default_sim(), clock, 10);
-    table.add_row({bench::class_name(t.link_class), t.name,
-                   util::TablePrinter::fmt(sweep.zero_load_latency_ns, 2),
-                   util::TablePrinter::fmt(sweep.saturation_pkt_node_ns, 4)});
+  for (const auto& sw : report.sweeps) {
+    if (sw.traffic != traffic) continue;
+    const auto& t = report.topologies[report.plans[sw.plan].topology];
+    table.add_row({t.link_class, t.name,
+                   util::TablePrinter::fmt(sw.zero_load_latency_ns, 2),
+                   util::TablePrinter::fmt(sw.saturation_pkt_node_ns, 4)});
     // Emit the full curve for plotting.
     std::printf("curve %-20s", t.name.c_str());
-    for (const auto& pt : sweep.points)
+    for (const auto& pt : sw.points)
       std::printf(" (%.4f,%.1f)", pt.accepted_pkt_node_ns, pt.latency_ns);
     std::printf("\n");
   }
   table.print(std::cout);
-  std::printf("[%.1f s of adaptive sweeps]\n\n", timer.seconds());
+  std::printf("\n");
 }
 
 }  // namespace
@@ -50,8 +45,25 @@ int main() {
   std::printf(
       "NetSmith reproduction — Fig. 6 (synthetic traffic, 20-router NoIs)\n"
       "Each curve point: (accepted pkt/node/ns, avg latency ns).\n\n");
-  run_kind(sim::TrafficKind::kCoherence, "(a): coherence traffic");
-  run_kind(sim::TrafficKind::kMemory, "(b): memory traffic");
+
+  api::ExperimentSpec spec;
+  spec.name = "fig06_synthetic20";
+  api::TopologySpec cat;
+  cat.source = api::TopologySource::kCatalog;
+  cat.catalog_routers = 20;
+  spec.topologies = {cat};
+  spec.analytic = false;
+  spec.traffic = {api::TrafficSpec{"coherence", "coherence"},
+                  api::TrafficSpec{"memory", "memory"}};
+  spec.sweep.points = 10;
+
+  util::WallTimer timer;
+  const api::Report report = api::run_experiment(spec);
+  const double secs = timer.seconds();
+
+  print_kind(report, "coherence", "(a): coherence traffic");
+  print_kind(report, "memory", "(b): memory traffic");
+  std::printf("[%.1f s of adaptive sweeps via the Study API]\n\n", secs);
   std::printf(
       "Expected shape: NS-* saturate last within each class; LPBT variants\n"
       "saturate first; Kite is the best expert design. Memory traffic\n"

@@ -2,12 +2,15 @@
 // synthetic uniform-random traffic. Kite-Large and LPBT do not scale to this
 // size (paper SV-E); the Kite-like rows are short-budget symmetric searches
 // standing in for the missing published designs (see EXPERIMENTS.md).
+//
+// Declarative port: one ExperimentSpec (48-router catalog + parametric
+// baselines, 24-path MCLB budget) through the Study API; wire retiming for
+// over-reach links flows from each topology into its sweeps automatically.
 
 #include <cstdio>
 #include <iostream>
 
-#include "bench_util.hpp"
-#include "sim/sweep.hpp"
+#include "api/study.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -21,25 +24,31 @@ int main() {
       "(Dragonfly/CMesh/HammingMesh)\nuse their own placements and ride "
       "along after.\n\n");
 
+  api::ExperimentSpec spec;
+  spec.name = "fig11_scale48";
+  api::TopologySpec cat;
+  cat.source = api::TopologySource::kCatalog;
+  cat.catalog_routers = 48;
+  cat.include_baselines = true;
+  spec.topologies = {cat};
+  spec.analytic = false;
+  spec.max_paths_per_flow = 24;
+  spec.traffic = {api::TrafficSpec{"coherence", "coherence"}};
+  spec.sweep.points = 8;
+
   util::TablePrinter table({"class", "topology", "lat@0 (ns)",
                             "saturation (pkt/node/ns)"});
   util::WallTimer timer;
+  const api::Report report = api::run_experiment(spec);
 
-  for (const auto& t : bench::with_baselines(topologies::catalog_48(), 48)) {
-    const auto plan = core::plan_network(t.graph, t.layout,
-                                         bench::paper_policy(t), 6, 7,
-                                         /*max_paths=*/24);
-    sim::TrafficConfig traffic;
-    traffic.kind = sim::TrafficKind::kCoherence;
-    const auto sweep =
-        sim::sweep_to_saturation(plan, traffic, bench::sim_for(t),
-                                 topo::clock_ghz(t.link_class), 8);
-    table.add_row({bench::class_name(t.link_class), t.name,
-                   util::TablePrinter::fmt(sweep.zero_load_latency_ns, 2),
-                   util::TablePrinter::fmt(sweep.saturation_pkt_node_ns, 4)});
+  for (const auto& sw : report.sweeps) {
+    const auto& t = report.topologies[report.plans[sw.plan].topology];
+    table.add_row({t.link_class, t.name,
+                   util::TablePrinter::fmt(sw.zero_load_latency_ns, 2),
+                   util::TablePrinter::fmt(sw.saturation_pkt_node_ns, 4)});
   }
   table.print(std::cout);
-  std::printf("[%.1f s of adaptive sweeps]\n", timer.seconds());
+  std::printf("[%.1f s of adaptive sweeps via the Study API]\n", timer.seconds());
   std::printf(
       "\nExpected shape (paper Fig. 11): NS topologies beat every scalable\n"
       "legacy design in saturation throughput across all three classes,\n"

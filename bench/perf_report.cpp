@@ -30,6 +30,7 @@
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
 #include "topo/metrics.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 using namespace netsmith;
@@ -68,42 +69,44 @@ struct Report {
 };
 
 void write_json(const Report& r, const std::string& path) {
+  // Streaming writer with explicit printf formats: the emitted fields stay
+  // byte-compatible with the pre-writer (schema 2) handwritten output.
+  util::JsonWriter w;
+  w.begin_object();
+  w.field_int("schema", 2);
+  w.field_bool("smoke", r.smoke);
+  w.begin_object("anneal");
+  w.field_fmt("moves_per_sec", "%.1f", r.anneal_moves_per_sec);
+  w.field_fmt("accept_rate", "%.4f", r.anneal_accept_rate);
+  w.end();
+  w.begin_object("apsp_n48");
+  w.field_fmt("bitset_ns_per_op", "%.1f", r.apsp48_bitset_ns);
+  w.field_fmt("scalar_ns_per_op", "%.1f", r.apsp48_scalar_ns);
+  w.field_fmt("speedup", "%.2f", r.apsp48_speedup);
+  w.end();
+  w.begin_object("cut");
+  w.field_fmt("exact_n20_ms", "%.3f", r.cut_exact20_ms);
+  w.field_fmt("heuristic_n48_ms", "%.3f", r.cut_heuristic48_ms);
+  w.end();
+  w.begin_object("sim");
+  w.field_fmt("cycles_per_sec", "%.1f", r.sim_cycles_per_sec);
+  w.field_fmt("reference_cycles_per_sec", "%.1f", r.sim_ref_cycles_per_sec);
+  w.field_fmt("speedup", "%.2f", r.sim_speedup);
+  w.end();
+  w.begin_object("mclb");
+  w.field_fmt("flat_routes_per_sec", "%.1f", r.mclb_flat_routes_per_sec);
+  w.field_fmt("scan_routes_per_sec", "%.1f", r.mclb_scan_routes_per_sec);
+  w.field_fmt("speedup", "%.2f", r.mclb_speedup);
+  w.field_fmt("compile_ms", "%.4f", r.mclb_compile_ms);
+  w.end();
+  w.end();
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "perf_report: cannot open %s\n", path.c_str());
     std::exit(2);
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": 2,\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", r.smoke ? "true" : "false");
-  std::fprintf(f, "  \"anneal\": {\n");
-  std::fprintf(f, "    \"moves_per_sec\": %.1f,\n", r.anneal_moves_per_sec);
-  std::fprintf(f, "    \"accept_rate\": %.4f\n", r.anneal_accept_rate);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"apsp_n48\": {\n");
-  std::fprintf(f, "    \"bitset_ns_per_op\": %.1f,\n", r.apsp48_bitset_ns);
-  std::fprintf(f, "    \"scalar_ns_per_op\": %.1f,\n", r.apsp48_scalar_ns);
-  std::fprintf(f, "    \"speedup\": %.2f\n", r.apsp48_speedup);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"cut\": {\n");
-  std::fprintf(f, "    \"exact_n20_ms\": %.3f,\n", r.cut_exact20_ms);
-  std::fprintf(f, "    \"heuristic_n48_ms\": %.3f\n", r.cut_heuristic48_ms);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"sim\": {\n");
-  std::fprintf(f, "    \"cycles_per_sec\": %.1f,\n", r.sim_cycles_per_sec);
-  std::fprintf(f, "    \"reference_cycles_per_sec\": %.1f,\n",
-               r.sim_ref_cycles_per_sec);
-  std::fprintf(f, "    \"speedup\": %.2f\n", r.sim_speedup);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"mclb\": {\n");
-  std::fprintf(f, "    \"flat_routes_per_sec\": %.1f,\n",
-               r.mclb_flat_routes_per_sec);
-  std::fprintf(f, "    \"scan_routes_per_sec\": %.1f,\n",
-               r.mclb_scan_routes_per_sec);
-  std::fprintf(f, "    \"speedup\": %.2f,\n", r.mclb_speedup);
-  std::fprintf(f, "    \"compile_ms\": %.4f\n", r.mclb_compile_ms);
-  std::fprintf(f, "  }\n");
-  std::fprintf(f, "}\n");
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
   std::fclose(f);
 }
 

@@ -2,49 +2,63 @@
 // paper's Table IV configuration). Runs a memory-bound PARSEC-like workload
 // over two interposer topologies and reports the modeled speedup.
 //
+// The chiplet systems and their routing plans come from the Study API
+// (chiplet_system toggle in the spec); the PARSEC CPI model then replays
+// its request/reply traffic over the cached plan artifacts.
+//
 // Build & run:  ./build/examples/full_system
 
 #include <cstdio>
 #include <iostream>
 
-#include "core/netsmith.hpp"
+#include "api/study.hpp"
 #include "system/workload.hpp"
-#include "topo/builders.hpp"
-#include "topologies/registry.hpp"
 #include "util/table.hpp"
 
 using namespace netsmith;
 
 int main() {
-  const auto lay = topo::Layout::noi_4x5();
+  // Mesh baseline vs the frozen NetSmith medium-class NoI, both wrapped
+  // into the 84-router chiplet system and planned with 8 VCs / 12 paths.
+  api::ExperimentSpec spec;
+  spec.name = "full_system";
+  api::TopologySpec mesh;
+  mesh.source = api::TopologySource::kBaseline;
+  mesh.baseline = "mesh:rows=4,cols=5";
+  api::TopologySpec ns;
+  ns.source = api::TopologySource::kCatalog;
+  ns.catalog_routers = 20;
+  ns.name = "NS-LatOp-medium-20";
+  spec.topologies = {mesh, ns};
+  spec.routing = "mclb";
+  spec.num_vcs = 8;
+  spec.max_paths_per_flow = 12;
+  spec.chiplet_system = true;
+  spec.analytic = false;
+  spec.sweep.warmup = 1500;
+  spec.sweep.measure = 5000;
+  spec.sweep.drain = 20000;
 
-  const auto mesh_sys = system::build_chiplet_system(topo::build_mesh(lay), lay);
-  const auto ns_graph =
-      topologies::find(topologies::catalog(20), "NS-LatOp-medium-20").graph;
-  const auto ns_sys = system::build_chiplet_system(ns_graph, lay);
+  api::Study study(spec);
+  study.run();
 
+  const auto& mesh_art = study.plan_for(/*topology_ref=*/0);
+  const auto& ns_art = study.plan_for(/*topology_ref=*/1);
+  const auto& sys = mesh_art.system;
   std::printf("Full-system: %d routers (%d NoI + %d cores), %zu MCs\n\n",
-              mesh_sys.graph.num_nodes(), mesh_sys.noi_n, mesh_sys.num_cores,
-              mesh_sys.mc_routers.size());
+              sys.graph.num_nodes(), sys.noi_n, sys.num_cores,
+              sys.mc_routers.size());
 
-  const auto mesh_plan = core::plan_network(
-      mesh_sys.graph, lay, core::RoutingPolicy::kMclb, 8, 7, /*paths=*/12);
-  const auto ns_plan = core::plan_network(
-      ns_sys.graph, lay, core::RoutingPolicy::kMclb, 8, 7, /*paths=*/12);
-
-  sim::SimConfig sc;
-  sc.num_vcs = 8;
-  sc.warmup = 1500;
-  sc.measure = 5000;
-  sc.drain = 20000;
-
+  const sim::SimConfig sc = api::make_sim_config(spec);
   const system::PerfModel model;
   util::TablePrinter table(
       {"benchmark", "MPKI", "lat mesh (cyc)", "lat NS (cyc)", "speedup"});
 
   for (const auto& bench : system::parsec_benchmarks()) {
-    const auto mesh_r = system::run_workload(mesh_sys, mesh_plan, bench, model, sc);
-    const auto ns_r = system::run_workload(ns_sys, ns_plan, bench, model, sc);
+    const auto mesh_r = system::run_workload(mesh_art.system, mesh_art.plan,
+                                             bench, model, sc);
+    const auto ns_r =
+        system::run_workload(ns_art.system, ns_art.plan, bench, model, sc);
     table.add_row({bench.name, util::TablePrinter::fmt(bench.mpki, 2),
                    util::TablePrinter::fmt(mesh_r.avg_packet_latency_cycles, 1),
                    util::TablePrinter::fmt(ns_r.avg_packet_latency_cycles, 1),

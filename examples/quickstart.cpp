@@ -1,52 +1,64 @@
-// Quickstart: discover a network-on-interposer topology with NetSmith and
-// inspect its analytic metrics.
+// Quickstart: describe an experiment declaratively, run it through the
+// Study API, and inspect the structured Report.
+//
+// The same spec can be written as JSON and executed with the CLI:
+//   ./build/netsmith_run my_spec.json --out report.json
 //
 // Build & run:  ./build/examples/quickstart [seconds=5]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/netsmith.hpp"
-#include "topo/cuts.hpp"
-#include "topo/metrics.hpp"
+#include "api/study.hpp"
 
 using namespace netsmith;
 
 int main(int argc, char** argv) {
   const double seconds = argc > 1 ? std::atof(argv[1]) : 5.0;
 
-  // 1. Describe the problem: a 4x5 interposer router grid, radix-4 routers,
-  //    medium link-length budget (wires may span up to 2 grid hops).
-  core::SynthesisConfig cfg;
-  cfg.layout = topo::Layout::noi_4x5();
-  cfg.link_class = topo::LinkClass::kMedium;
-  cfg.radix = 4;
-  cfg.objective = core::Objective::kLatOp;  // minimize average hop count
-  cfg.time_limit_s = seconds;
-  cfg.seed = 2024;
+  // 1. Describe the experiment: synthesize a latency-optimized 4x5
+  //    interposer NoI (radix-4 routers, medium link-length budget), then
+  //    route it with MCLB and report analytic metrics.
+  api::ExperimentSpec spec;
+  spec.name = "quickstart";
+  api::TopologySpec synth;
+  synth.source = api::TopologySource::kSynthesize;
+  synth.rows = 4;
+  synth.cols = 5;
+  synth.link_class = "medium";
+  synth.radix = 4;
+  synth.objectives = {"latop"};  // minimize average hop count
+  synth.time_limit_s = seconds;
+  synth.synth_seed = 2024;
+  spec.topologies = {synth};
+  spec.analytic = true;
 
-  // 2. Synthesize.
+  // 2. Run. (api::serialize(spec) would give the equivalent JSON document
+  //    for the netsmith_run CLI.)
   std::printf("Synthesizing a latency-optimized 4x5 NoI (%.1fs budget)...\n",
               seconds);
-  const auto result = core::synthesize(cfg);
+  const api::Report report = api::run_experiment(spec);
 
-  // 3. Inspect.
-  const auto& g = result.graph;
+  // 3. Inspect the structured report.
+  const auto& t = report.topologies.front();
+  const auto& plan = report.plans.front();
   std::printf("\nDiscovered topology (%d routers, %.0f full-duplex links):\n",
-              g.num_nodes(), g.duplex_links());
+              t.routers, t.duplex_links);
   std::printf("  average hops      : %.3f (analytic lower bound %.3f)\n",
-              topo::average_hops(g), result.bound);
-  std::printf("  diameter          : %d\n", topo::diameter(g));
-  std::printf("  bisection BW      : %d links\n", topo::bisection_bandwidth(g));
-  std::printf("  sparsest cut BW   : %.4f\n", topo::sparsest_cut(g).bandwidth);
+              t.avg_hops, t.bound);
+  std::printf("  diameter          : %d\n", t.diameter);
+  std::printf("  bisection BW      : %d links\n", t.bisection_bw);
+  std::printf("  cut bound         : %.4f pkt/node/cycle\n", t.cut_bound);
+  std::printf("\nRouting plan (%s, %d VCs, seed %llu):\n", plan.policy.c_str(),
+              plan.num_vcs, static_cast<unsigned long long>(plan.seed));
+  std::printf("  max channel load  : %.4f (normalized)\n",
+              plan.max_channel_load);
+  std::printf("  VC layers needed  : %d\n", plan.vc_layers);
 
-  // 4. Make it deployable: MCLB routing tables + deadlock-free VC map.
-  const auto plan = core::plan_network(g, cfg.layout,
-                                       core::RoutingPolicy::kMclb, 6);
-  std::printf("\nRouting plan:\n");
-  std::printf("  max channel load  : %.4f (normalized)\n", plan.max_channel_load);
-  std::printf("  VC layers needed  : %d (of 6 VCs)\n", plan.vc_layers);
+  std::printf("\nAdjacency (serialized): %s\n", t.adjacency.c_str());
 
-  std::printf("\nAdjacency (serialized): %s\n", g.to_string().c_str());
+  // 4. The full report (spec + provenance + rows) serializes to JSON.
+  std::printf("\nReport is %zu bytes of schema-versioned JSON (schema %d).\n",
+              api::report_to_json(report).size(), api::kReportSchemaVersion);
   return 0;
 }

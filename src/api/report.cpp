@@ -1,0 +1,162 @@
+#include "api/report.hpp"
+
+#include "util/json.hpp"
+
+namespace netsmith::api {
+
+using util::JsonValue;
+
+namespace {
+
+JsonValue to_json(const TopologyRow& t) {
+  JsonValue o = JsonValue::object();
+  o.set("name", JsonValue::string(t.name));
+  o.set("key", JsonValue::string(t.key));
+  o.set("factory_spec", JsonValue::string(t.factory_spec));
+  o.set("source", JsonValue::string(t.source));
+  o.set("link_class", JsonValue::string(t.link_class));
+  o.set("clock_ghz", JsonValue::number(t.clock_ghz));
+  o.set("routers", JsonValue::integer(t.routers));
+  o.set("duplex_links", JsonValue::number(t.duplex_links));
+  o.set("adjacency", JsonValue::string(t.adjacency));
+  o.set("is_netsmith", JsonValue::boolean(t.is_netsmith));
+  o.set("parametric", JsonValue::boolean(t.parametric));
+  o.set("avg_hops", JsonValue::number(t.avg_hops));
+  o.set("diameter", JsonValue::integer(t.diameter));
+  o.set("bisection_bw", JsonValue::integer(t.bisection_bw));
+  o.set("cut_bound", JsonValue::number(t.cut_bound));
+  o.set("avg_extra_edge_delay", JsonValue::number(t.avg_extra_edge_delay));
+  o.set("synthesized", JsonValue::boolean(t.synthesized));
+  if (t.synthesized) {
+    o.set("objective", JsonValue::string(t.objective));
+    o.set("objective_value", JsonValue::number(t.objective_value));
+    o.set("bound", JsonValue::number(t.bound));
+    o.set("moves", JsonValue::integer(t.moves));
+    JsonValue trace = JsonValue::array();
+    for (const auto& pt : t.trace) {
+      JsonValue p = JsonValue::object();
+      p.set("seconds", JsonValue::number(pt.seconds));
+      p.set("incumbent", JsonValue::number(pt.incumbent));
+      p.set("bound", JsonValue::number(pt.bound));
+      trace.push_back(std::move(p));
+    }
+    o.set("trace", std::move(trace));
+  }
+  return o;
+}
+
+JsonValue to_json(const PlanRow& p) {
+  JsonValue o = JsonValue::object();
+  o.set("topology", JsonValue::integer(p.topology));
+  o.set("key", JsonValue::string(p.key));
+  o.set("policy", JsonValue::string(p.policy));
+  o.set("num_vcs", JsonValue::integer(p.num_vcs));
+  o.set("seed", JsonValue::integer(static_cast<long long>(p.seed)));
+  o.set("max_paths_per_flow", JsonValue::integer(p.max_paths_per_flow));
+  o.set("max_channel_load", JsonValue::number(p.max_channel_load));
+  o.set("routed_bound", JsonValue::number(p.routed_bound));
+  o.set("vc_layers", JsonValue::integer(p.vc_layers));
+  o.set("ndbt_fallback_flows", JsonValue::integer(p.ndbt_fallback_flows));
+  o.set("chiplet_system", JsonValue::boolean(p.chiplet_system));
+  o.set("system_routers", JsonValue::integer(p.system_routers));
+  return o;
+}
+
+JsonValue to_json(const SweepRow& s) {
+  JsonValue o = JsonValue::object();
+  o.set("plan", JsonValue::integer(s.plan));
+  o.set("traffic", JsonValue::string(s.traffic));
+  o.set("zero_load_latency_cycles",
+        JsonValue::number(s.zero_load_latency_cycles));
+  o.set("zero_load_latency_ns", JsonValue::number(s.zero_load_latency_ns));
+  o.set("saturation_pkt_node_cycle",
+        JsonValue::number(s.saturation_pkt_node_cycle));
+  o.set("saturation_pkt_node_ns", JsonValue::number(s.saturation_pkt_node_ns));
+  o.set("omp_threads", JsonValue::integer(s.omp_threads));
+  JsonValue points = JsonValue::array();
+  for (const auto& pt : s.points) {
+    JsonValue p = JsonValue::object();
+    p.set("offered_pkt_node_cycle",
+          JsonValue::number(pt.offered_pkt_node_cycle));
+    p.set("accepted_pkt_node_cycle",
+          JsonValue::number(pt.accepted_pkt_node_cycle));
+    p.set("accepted_pkt_node_ns", JsonValue::number(pt.accepted_pkt_node_ns));
+    p.set("latency_cycles", JsonValue::number(pt.latency_cycles));
+    p.set("latency_ns", JsonValue::number(pt.latency_ns));
+    p.set("saturated", JsonValue::boolean(pt.saturated));
+    points.push_back(std::move(p));
+  }
+  o.set("points", std::move(points));
+  return o;
+}
+
+JsonValue to_json(const PowerRow& p) {
+  JsonValue o = JsonValue::object();
+  o.set("topology", JsonValue::integer(p.topology));
+  o.set("dynamic_mw", JsonValue::number(p.dynamic_mw));
+  o.set("leakage_mw", JsonValue::number(p.leakage_mw));
+  o.set("total_power_mw", JsonValue::number(p.dynamic_mw + p.leakage_mw));
+  o.set("router_area_mm2", JsonValue::number(p.router_area_mm2));
+  o.set("wire_area_mm2", JsonValue::number(p.wire_area_mm2));
+  return o;
+}
+
+JsonValue to_json(const StudyStats& s) {
+  JsonValue o = JsonValue::object();
+  o.set("topology_refs", JsonValue::integer(s.topology_refs));
+  o.set("unique_topologies", JsonValue::integer(s.unique_topologies));
+  o.set("topology_cache_hits", JsonValue::integer(s.topology_cache_hits));
+  o.set("syntheses_run", JsonValue::integer(s.syntheses_run));
+  o.set("plan_refs", JsonValue::integer(s.plan_refs));
+  o.set("unique_plans", JsonValue::integer(s.unique_plans));
+  o.set("plan_cache_hits", JsonValue::integer(s.plan_cache_hits));
+  o.set("sweep_jobs", JsonValue::integer(s.sweep_jobs));
+  o.set("power_jobs", JsonValue::integer(s.power_jobs));
+  o.set("jobs_total", JsonValue::integer(s.jobs_total));
+  return o;
+}
+
+}  // namespace
+
+std::string report_to_json(const Report& report) {
+  JsonValue o = JsonValue::object();
+  o.set("schema_version", JsonValue::integer(kReportSchemaVersion));
+  o.set("name", JsonValue::string(report.spec.name));
+  o.set("spec", spec_to_json(report.spec));
+
+  JsonValue prov = JsonValue::object();
+  prov.set("spec_schema_version", JsonValue::integer(kSpecSchemaVersion));
+  prov.set("omp_max_threads", JsonValue::integer(report.omp_max_threads));
+  JsonValue seeds = JsonValue::array();
+  for (auto s : report.spec.seeds)
+    seeds.push_back(JsonValue::integer(static_cast<long long>(s)));
+  prov.set("seeds", std::move(seeds));
+  prov.set("jobs", to_json(report.stats));
+  o.set("provenance", std::move(prov));
+
+  JsonValue topos = JsonValue::array();
+  for (const auto& t : report.topologies) topos.push_back(to_json(t));
+  o.set("topologies", std::move(topos));
+  JsonValue plans = JsonValue::array();
+  for (const auto& p : report.plans) plans.push_back(to_json(p));
+  o.set("plans", std::move(plans));
+  JsonValue sweeps = JsonValue::array();
+  for (const auto& s : report.sweeps) sweeps.push_back(to_json(s));
+  o.set("sweeps", std::move(sweeps));
+  JsonValue power = JsonValue::array();
+  for (const auto& p : report.power) power.push_back(to_json(p));
+  o.set("power", std::move(power));
+  return o.dump();
+}
+
+ExperimentSpec spec_from_report(const std::string& report_json) {
+  const JsonValue doc = JsonValue::parse(report_json);
+  return spec_from_json(doc.at("spec"));
+}
+
+int report_schema_version(const std::string& report_json) {
+  return static_cast<int>(
+      JsonValue::parse(report_json).at("schema_version").as_int());
+}
+
+}  // namespace netsmith::api

@@ -1,0 +1,132 @@
+#pragma once
+// Structured experiment results. A Report is the Study runner's output: one
+// flat row set per grid axis (topologies, plans = topologies x seeds, sweeps
+// = plans x traffic, power), plus provenance (the spec verbatim, seeds,
+// thread counts, cache/job counters, schema version), serialized to JSON.
+//
+// Rows are in deterministic grid order (spec declaration order x seed order
+// x traffic order) regardless of how the runner scheduled the jobs, so a
+// report is byte-identical across Study thread counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "core/config.hpp"
+
+namespace netsmith::api {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+// One expanded topology grid entry (spec order; duplicates share cache keys).
+struct TopologyRow {
+  std::string name;
+  std::string key;           // artifact cache key (see DESIGN.md)
+  std::string factory_spec;  // registry "family:k=v" form; empty otherwise
+  std::string source;        // synthesize|baseline|explicit|catalog
+  std::string link_class;
+  double clock_ghz = 0.0;
+  int routers = 0;
+  double duplex_links = 0.0;
+  std::string adjacency;  // topo::DiGraph::to_string form
+  bool is_netsmith = false;
+  bool parametric = false;
+  // spec.analytic metrics.
+  double avg_hops = 0.0;
+  int diameter = 0;
+  int bisection_bw = 0;
+  double cut_bound = 0.0;            // packets/node/cycle (uniform)
+  double avg_extra_edge_delay = 0.0; // wire-retiming cycles per edge
+  // Synthesis provenance (source == synthesize only).
+  bool synthesized = false;
+  std::string objective;
+  double objective_value = 0.0;
+  double bound = 0.0;
+  long moves = 0;
+  std::vector<core::ProgressPoint> trace;
+};
+
+// One plan grid entry: topology row x plan seed.
+struct PlanRow {
+  int topology = 0;  // index into Report::topologies
+  std::string key;
+  // Provenance copied from core::NetworkPlan.
+  std::string policy;  // mclb | ndbt
+  int num_vcs = 0;
+  std::uint64_t seed = 0;
+  int max_paths_per_flow = 0;
+  double max_channel_load = 0.0;
+  double routed_bound = 0.0;  // 1 / max_channel_load, packets/node/cycle
+  int vc_layers = 0;
+  int ndbt_fallback_flows = 0;
+  bool chiplet_system = false;
+  int system_routers = 0;  // chiplet system only (NoI + NoC)
+};
+
+struct SweepPointRow {
+  double offered_pkt_node_cycle = 0.0;
+  double accepted_pkt_node_cycle = 0.0;
+  double accepted_pkt_node_ns = 0.0;
+  double latency_cycles = 0.0;
+  double latency_ns = 0.0;
+  bool saturated = false;
+};
+
+// One sweep grid entry: plan row x traffic scenario.
+struct SweepRow {
+  int plan = 0;  // index into Report::plans
+  std::string traffic;  // TrafficSpec label
+  double zero_load_latency_cycles = 0.0;
+  double zero_load_latency_ns = 0.0;
+  double saturation_pkt_node_cycle = 0.0;
+  double saturation_pkt_node_ns = 0.0;
+  int omp_threads = 1;  // provenance: adaptive truncation depends on it
+  std::vector<SweepPointRow> points;
+};
+
+struct PowerRow {
+  int topology = 0;  // index into Report::topologies
+  double dynamic_mw = 0.0;
+  double leakage_mw = 0.0;
+  double router_area_mm2 = 0.0;
+  double wire_area_mm2 = 0.0;
+};
+
+// Job/cache counters (also provenance: proves the artifact sharing the
+// grid expansion promised).
+struct StudyStats {
+  int topology_refs = 0;      // expanded topology grid entries
+  int unique_topologies = 0;  // distinct artifact keys
+  int topology_cache_hits = 0;
+  int syntheses_run = 0;  // annealer invocations actually executed
+  int plan_refs = 0;
+  int unique_plans = 0;
+  int plan_cache_hits = 0;
+  int sweep_jobs = 0;  // unique (plan, traffic) simulations executed
+  int power_jobs = 0;
+  int jobs_total = 0;  // DAG nodes executed
+};
+
+struct Report {
+  ExperimentSpec spec;  // embedded verbatim; round-trips via spec_from_json
+  std::vector<TopologyRow> topologies;
+  std::vector<PlanRow> plans;
+  std::vector<SweepRow> sweeps;
+  std::vector<PowerRow> power;
+  StudyStats stats;
+  int omp_max_threads = 1;
+};
+
+// Schema-stamped JSON document (trailing newline, deterministic field
+// order). The "spec" member is api::serialize's DOM form.
+std::string report_to_json(const Report& report);
+
+// Extracts and parses the embedded spec of a serialized report — the
+// round-trip contract `parse(report(spec)) == spec`.
+ExperimentSpec spec_from_report(const std::string& report_json);
+
+// Reads the schema_version stamp of a serialized report.
+int report_schema_version(const std::string& report_json);
+
+}  // namespace netsmith::api

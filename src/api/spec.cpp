@@ -1,0 +1,390 @@
+#include "api/spec.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace netsmith::api {
+
+using util::JsonValue;
+
+// ------------------------------------------------- enum <-> string helpers --
+
+const char* to_string(TopologySource s) {
+  switch (s) {
+    case TopologySource::kSynthesize: return "synthesize";
+    case TopologySource::kBaseline: return "baseline";
+    case TopologySource::kExplicit: return "explicit";
+    case TopologySource::kCatalog: return "catalog";
+  }
+  return "baseline";
+}
+
+TopologySource topology_source_from_string(const std::string& s) {
+  if (s == "synthesize") return TopologySource::kSynthesize;
+  if (s == "baseline") return TopologySource::kBaseline;
+  if (s == "explicit") return TopologySource::kExplicit;
+  if (s == "catalog") return TopologySource::kCatalog;
+  throw std::invalid_argument("spec: unknown topology source '" + s + "'");
+}
+
+core::Objective objective_from_string(const std::string& s) {
+  if (s == "latop") return core::Objective::kLatOp;
+  if (s == "scop") return core::Objective::kSCOp;
+  if (s == "pattern") return core::Objective::kPattern;
+  if (s == "channel_load") return core::Objective::kChannelLoad;
+  if (s == "latload") return core::Objective::kLatLoad;
+  throw std::invalid_argument("spec: unknown objective '" + s + "'");
+}
+
+const char* objective_to_string(core::Objective o) {
+  switch (o) {
+    case core::Objective::kLatOp: return "latop";
+    case core::Objective::kSCOp: return "scop";
+    case core::Objective::kPattern: return "pattern";
+    case core::Objective::kChannelLoad: return "channel_load";
+    case core::Objective::kLatLoad: return "latload";
+  }
+  return "latop";
+}
+
+topo::LinkClass link_class_from_string(const std::string& s) {
+  if (s == "small") return topo::LinkClass::kSmall;
+  if (s == "medium") return topo::LinkClass::kMedium;
+  if (s == "large") return topo::LinkClass::kLarge;
+  throw std::invalid_argument("spec: unknown link class '" + s + "'");
+}
+
+sim::SimConfig make_sim_config(const ExperimentSpec& spec) {
+  sim::SimConfig c;
+  c.num_vcs = spec.num_vcs;
+  c.buf_flits = spec.sweep.buf_flits;
+  c.router_delay = spec.sweep.router_delay;
+  c.link_delay = spec.sweep.link_delay;
+  c.io_flits_per_cycle = spec.sweep.io_flits_per_cycle;
+  c.warmup = spec.sweep.warmup;
+  c.measure = spec.sweep.measure;
+  c.drain = spec.sweep.drain;
+  c.seed = spec.sweep.sim_seed;
+  return c;
+}
+
+// ----------------------------------------------------------- serializing ---
+
+namespace {
+
+JsonValue to_json(const TopologySpec& t) {
+  JsonValue o = JsonValue::object();
+  o.set("source", JsonValue::string(to_string(t.source)));
+  o.set("name", JsonValue::string(t.name));
+  o.set("baseline", JsonValue::string(t.baseline));
+  o.set("catalog_routers", JsonValue::integer(t.catalog_routers));
+  o.set("include_baselines", JsonValue::boolean(t.include_baselines));
+  o.set("adjacency", JsonValue::string(t.adjacency));
+  o.set("rows", JsonValue::integer(t.rows));
+  o.set("cols", JsonValue::integer(t.cols));
+  o.set("link_class", JsonValue::string(t.link_class));
+  JsonValue objs = JsonValue::array();
+  for (const auto& ob : t.objectives) objs.push_back(JsonValue::string(ob));
+  o.set("objectives", std::move(objs));
+  o.set("radix", JsonValue::integer(t.radix));
+  o.set("symmetric_links", JsonValue::boolean(t.symmetric_links));
+  o.set("diameter_bound", JsonValue::integer(t.diameter_bound));
+  o.set("min_cut_bandwidth", JsonValue::number(t.min_cut_bandwidth));
+  o.set("load_weight", JsonValue::number(t.load_weight));
+  o.set("time_limit_s", JsonValue::number(t.time_limit_s));
+  o.set("synth_seed", JsonValue::integer(static_cast<long long>(t.synth_seed)));
+  o.set("restarts", JsonValue::integer(t.restarts));
+  o.set("max_moves", JsonValue::integer(t.max_moves));
+  return o;
+}
+
+JsonValue to_json(const TrafficSpec& t) {
+  JsonValue o = JsonValue::object();
+  o.set("name", JsonValue::string(t.name));
+  o.set("kind", JsonValue::string(t.kind));
+  o.set("ctrl_flits", JsonValue::integer(t.ctrl_flits));
+  o.set("data_flits", JsonValue::integer(t.data_flits));
+  o.set("data_fraction", JsonValue::number(t.data_fraction));
+  return o;
+}
+
+JsonValue to_json(const SweepSpec& s) {
+  JsonValue o = JsonValue::object();
+  o.set("points", JsonValue::integer(s.points));
+  o.set("max_rate", JsonValue::number(s.max_rate));
+  o.set("adaptive", JsonValue::boolean(s.adaptive));
+  o.set("warmup", JsonValue::integer(s.warmup));
+  o.set("measure", JsonValue::integer(s.measure));
+  o.set("drain", JsonValue::integer(s.drain));
+  o.set("buf_flits", JsonValue::integer(s.buf_flits));
+  o.set("io_flits_per_cycle", JsonValue::integer(s.io_flits_per_cycle));
+  o.set("router_delay", JsonValue::integer(s.router_delay));
+  o.set("link_delay", JsonValue::integer(s.link_delay));
+  o.set("sim_seed", JsonValue::integer(static_cast<long long>(s.sim_seed)));
+  return o;
+}
+
+JsonValue to_json(const PowerSpec& p) {
+  JsonValue o = JsonValue::object();
+  o.set("enabled", JsonValue::boolean(p.enabled));
+  o.set("flits_per_node_cycle", JsonValue::number(p.flits_per_node_cycle));
+  return o;
+}
+
+}  // namespace
+
+JsonValue spec_to_json(const ExperimentSpec& spec) {
+  JsonValue o = JsonValue::object();
+  o.set("schema_version", JsonValue::integer(kSpecSchemaVersion));
+  o.set("name", JsonValue::string(spec.name));
+  JsonValue topos = JsonValue::array();
+  for (const auto& t : spec.topologies) topos.push_back(to_json(t));
+  o.set("topologies", std::move(topos));
+  o.set("routing", JsonValue::string(spec.routing));
+  o.set("num_vcs", JsonValue::integer(spec.num_vcs));
+  o.set("max_paths_per_flow", JsonValue::integer(spec.max_paths_per_flow));
+  o.set("chiplet_system", JsonValue::boolean(spec.chiplet_system));
+  JsonValue seeds = JsonValue::array();
+  for (auto s : spec.seeds)
+    seeds.push_back(JsonValue::integer(static_cast<long long>(s)));
+  o.set("seeds", std::move(seeds));
+  o.set("analytic", JsonValue::boolean(spec.analytic));
+  JsonValue traffic = JsonValue::array();
+  for (const auto& t : spec.traffic) traffic.push_back(to_json(t));
+  o.set("traffic", std::move(traffic));
+  o.set("sweep", to_json(spec.sweep));
+  o.set("power", to_json(spec.power));
+  o.set("threads", JsonValue::integer(spec.threads));
+  return o;
+}
+
+std::string serialize(const ExperimentSpec& spec) {
+  return spec_to_json(spec).dump();
+}
+
+// -------------------------------------------------------------- parsing ----
+
+namespace {
+
+// Strict-object cursor: typed getters with defaults, and a final check that
+// every present key was consumed (catches typos in hand-written specs).
+class ObjReader {
+ public:
+  ObjReader(const JsonValue& v, std::string where)
+      : obj_(v), where_(std::move(where)) {
+    if (!v.is_object())
+      throw std::invalid_argument("spec: " + where_ + " must be an object");
+  }
+
+  const JsonValue* take(const std::string& key) {
+    seen_.push_back(key);
+    return obj_.find(key);
+  }
+
+  long long get_int(const std::string& key, long long def) {
+    const JsonValue* v = take(key);
+    return v ? v->as_int() : def;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) {
+    const JsonValue* v = take(key);
+    return v ? v->as_u64() : def;
+  }
+  double get_double(const std::string& key, double def) {
+    const JsonValue* v = take(key);
+    return v ? v->as_double() : def;
+  }
+  bool get_bool(const std::string& key, bool def) {
+    const JsonValue* v = take(key);
+    return v ? v->as_bool() : def;
+  }
+  std::string get_string(const std::string& key, const std::string& def) {
+    const JsonValue* v = take(key);
+    return v ? v->as_string() : def;
+  }
+
+  void finish() const {
+    for (const auto& [key, v] : obj_.members()) {
+      bool known = false;
+      for (const auto& s : seen_)
+        if (s == key) known = true;
+      if (!known)
+        throw std::invalid_argument("spec: unknown key '" + key + "' in " +
+                                    where_);
+    }
+  }
+
+ private:
+  const JsonValue& obj_;
+  std::string where_;
+  std::vector<std::string> seen_;
+};
+
+TopologySpec parse_topology(const JsonValue& v, int index) {
+  TopologySpec t;
+  ObjReader r(v, "topologies[" + std::to_string(index) + "]");
+  t.source = topology_source_from_string(r.get_string("source", "baseline"));
+  t.name = r.get_string("name", t.name);
+  t.baseline = r.get_string("baseline", t.baseline);
+  t.catalog_routers =
+      static_cast<int>(r.get_int("catalog_routers", t.catalog_routers));
+  t.include_baselines = r.get_bool("include_baselines", t.include_baselines);
+  t.adjacency = r.get_string("adjacency", t.adjacency);
+  t.rows = static_cast<int>(r.get_int("rows", t.rows));
+  t.cols = static_cast<int>(r.get_int("cols", t.cols));
+  t.link_class = r.get_string("link_class", t.link_class);
+  if (const JsonValue* objs = r.take("objectives")) {
+    t.objectives.clear();
+    for (const auto& o : objs->items()) {
+      objective_from_string(o.as_string());  // validate early
+      t.objectives.push_back(o.as_string());
+    }
+    if (t.objectives.empty())
+      throw std::invalid_argument("spec: objectives must not be empty");
+  }
+  t.radix = static_cast<int>(r.get_int("radix", t.radix));
+  t.symmetric_links = r.get_bool("symmetric_links", t.symmetric_links);
+  t.diameter_bound = static_cast<int>(r.get_int("diameter_bound", t.diameter_bound));
+  t.min_cut_bandwidth = r.get_double("min_cut_bandwidth", t.min_cut_bandwidth);
+  t.load_weight = r.get_double("load_weight", t.load_weight);
+  t.time_limit_s = r.get_double("time_limit_s", t.time_limit_s);
+  t.synth_seed = r.get_u64("synth_seed", t.synth_seed);
+  t.restarts = static_cast<int>(r.get_int("restarts", t.restarts));
+  t.max_moves = r.get_int("max_moves", t.max_moves);
+  r.finish();
+
+  // Per-source structural validation.
+  switch (t.source) {
+    case TopologySource::kBaseline:
+      if (t.baseline.empty())
+        throw std::invalid_argument("spec: baseline source needs 'baseline'");
+      break;
+    case TopologySource::kExplicit:
+      if (t.adjacency.empty() || t.rows <= 0 || t.cols <= 0)
+        throw std::invalid_argument(
+            "spec: explicit source needs adjacency + rows + cols");
+      link_class_from_string(t.link_class);
+      break;
+    case TopologySource::kSynthesize:
+      link_class_from_string(t.link_class);
+      break;
+    case TopologySource::kCatalog:
+      if (t.catalog_routers != 20 && t.catalog_routers != 30 &&
+          t.catalog_routers != 48)
+        throw std::invalid_argument(
+            "spec: catalog_routers must be 20, 30 or 48");
+      if (!t.name.empty() && t.include_baselines)
+        throw std::invalid_argument(
+            "spec: catalog 'name' selects a single row and cannot combine "
+            "with include_baselines");
+      break;
+  }
+  return t;
+}
+
+TrafficSpec parse_traffic(const JsonValue& v, int index) {
+  TrafficSpec t;
+  ObjReader r(v, "traffic[" + std::to_string(index) + "]");
+  t.kind = r.get_string("kind", t.kind);
+  if (t.kind != "coherence" && t.kind != "memory" && t.kind != "shuffle" &&
+      t.kind != "tornado")
+    throw std::invalid_argument("spec: unknown traffic kind '" + t.kind + "'");
+  t.name = r.get_string("name", t.name);
+  t.ctrl_flits = static_cast<int>(r.get_int("ctrl_flits", t.ctrl_flits));
+  t.data_flits = static_cast<int>(r.get_int("data_flits", t.data_flits));
+  t.data_fraction = r.get_double("data_fraction", t.data_fraction);
+  r.finish();
+  return t;
+}
+
+SweepSpec parse_sweep(const JsonValue& v) {
+  SweepSpec s;
+  ObjReader r(v, "sweep");
+  s.points = static_cast<int>(r.get_int("points", s.points));
+  s.max_rate = r.get_double("max_rate", s.max_rate);
+  s.adaptive = r.get_bool("adaptive", s.adaptive);
+  s.warmup = r.get_int("warmup", s.warmup);
+  s.measure = r.get_int("measure", s.measure);
+  s.drain = r.get_int("drain", s.drain);
+  s.buf_flits = static_cast<int>(r.get_int("buf_flits", s.buf_flits));
+  s.io_flits_per_cycle =
+      static_cast<int>(r.get_int("io_flits_per_cycle", s.io_flits_per_cycle));
+  s.router_delay = static_cast<int>(r.get_int("router_delay", s.router_delay));
+  s.link_delay = static_cast<int>(r.get_int("link_delay", s.link_delay));
+  s.sim_seed = r.get_u64("sim_seed", s.sim_seed);
+  r.finish();
+  if (s.points <= 0)
+    throw std::invalid_argument("spec: sweep.points must be positive");
+  return s;
+}
+
+PowerSpec parse_power(const JsonValue& v) {
+  PowerSpec p;
+  ObjReader r(v, "power");
+  p.enabled = r.get_bool("enabled", p.enabled);
+  p.flits_per_node_cycle =
+      r.get_double("flits_per_node_cycle", p.flits_per_node_cycle);
+  r.finish();
+  return p;
+}
+
+}  // namespace
+
+ExperimentSpec spec_from_json(const JsonValue& root) {
+  ExperimentSpec spec;
+  ObjReader r(root, "spec");
+  const long long schema = r.get_int("schema_version", kSpecSchemaVersion);
+  if (schema != kSpecSchemaVersion)
+    throw std::invalid_argument(
+        "spec: schema_version " + std::to_string(schema) +
+        " unsupported (this build speaks " +
+        std::to_string(kSpecSchemaVersion) + ")");
+  spec.name = r.get_string("name", spec.name);
+  if (const JsonValue* topos = r.take("topologies")) {
+    int i = 0;
+    for (const auto& t : topos->items())
+      spec.topologies.push_back(parse_topology(t, i++));
+  }
+  if (spec.topologies.empty())
+    throw std::invalid_argument("spec: needs at least one topology");
+  spec.routing = r.get_string("routing", spec.routing);
+  if (spec.routing != "auto" && spec.routing != "mclb" &&
+      spec.routing != "ndbt")
+    throw std::invalid_argument("spec: routing must be auto|mclb|ndbt");
+  spec.num_vcs = static_cast<int>(r.get_int("num_vcs", spec.num_vcs));
+  spec.max_paths_per_flow = static_cast<int>(
+      r.get_int("max_paths_per_flow", spec.max_paths_per_flow));
+  spec.chiplet_system = r.get_bool("chiplet_system", spec.chiplet_system);
+  if (const JsonValue* seeds = r.take("seeds")) {
+    spec.seeds.clear();
+    for (const auto& s : seeds->items()) spec.seeds.push_back(s.as_u64());
+    if (spec.seeds.empty())
+      throw std::invalid_argument("spec: seeds must not be empty");
+  }
+  spec.analytic = r.get_bool("analytic", spec.analytic);
+  if (const JsonValue* traffic = r.take("traffic")) {
+    int i = 0;
+    for (const auto& t : traffic->items())
+      spec.traffic.push_back(parse_traffic(t, i++));
+  }
+  if (const JsonValue* sweep = r.take("sweep")) spec.sweep = parse_sweep(*sweep);
+  if (const JsonValue* power = r.take("power")) spec.power = parse_power(*power);
+  spec.threads = static_cast<int>(r.get_int("threads", spec.threads));
+  r.finish();
+  if (spec.num_vcs < 1 || spec.max_paths_per_flow < 1)
+    throw std::invalid_argument(
+        "spec: num_vcs and max_paths_per_flow must be positive");
+  return spec;
+}
+
+ExperimentSpec parse_spec(const std::string& json_text) {
+  try {
+    return spec_from_json(JsonValue::parse(json_text));
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("spec: ") + e.what());
+  }
+}
+
+}  // namespace netsmith::api

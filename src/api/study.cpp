@@ -1,0 +1,564 @@
+#include "api/study.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/objective.hpp"
+#include "routing/channel_load.hpp"
+#include "topo/cuts.hpp"
+#include "topo/metrics.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace netsmith::api {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// ----------------------------------------------------- job DAG executor ---
+
+struct Job {
+  std::function<void()> fn;
+  std::vector<int> dependents;
+  int pending = 0;  // unmet dependency count
+  bool skip = false;
+  std::exception_ptr error;
+};
+
+// Runs the DAG on `width` workers. Jobs become ready as dependencies finish;
+// a failed dependency skips its downstream jobs. The first error (by job
+// index) is rethrown after the DAG drains.
+void run_dag(std::vector<Job>& jobs, int width) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  for (int i = 0; i < static_cast<int>(jobs.size()); ++i)
+    if (jobs[i].pending == 0) ready.push_back(i);
+  std::size_t remaining = jobs.size();
+
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lk(m);
+    while (true) {
+      cv.wait(lk, [&] { return !ready.empty() || remaining == 0; });
+      if (ready.empty()) return;  // remaining == 0: drained
+      const int id = ready.front();
+      ready.pop_front();
+      lk.unlock();
+      if (!jobs[id].skip) {
+        try {
+          jobs[id].fn();
+        } catch (...) {
+          jobs[id].error = std::current_exception();
+        }
+      }
+      lk.lock();
+      --remaining;
+      const bool failed = jobs[id].skip || jobs[id].error != nullptr;
+      for (int d : jobs[id].dependents) {
+        if (failed) jobs[d].skip = true;
+        if (--jobs[d].pending == 0) ready.push_back(d);
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  for (auto& j : jobs)
+    if (j.error) std::rethrow_exception(j.error);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- expansion --
+
+Study::Study(ExperimentSpec spec, StudyOptions opts)
+    : spec_(std::move(spec)), opts_(opts) {
+  if (spec_.topologies.empty())
+    throw std::invalid_argument("study: spec has no topologies");
+  if (spec_.seeds.empty())
+    throw std::invalid_argument("study: spec has no seeds");
+  expand();
+}
+
+core::RoutingPolicy Study::policy_for(const TopologyArtifact& t) const {
+  if (spec_.routing == "mclb") return core::RoutingPolicy::kMclb;
+  if (spec_.routing == "ndbt") return core::RoutingPolicy::kNdbt;
+  // "auto": the pairing the paper uses — MCLB for machine-made, parametric
+  // and user-supplied topologies, NDBT for the published expert designs.
+  if (t.source == TopologySource::kSynthesize ||
+      t.source == TopologySource::kExplicit)
+    return core::RoutingPolicy::kMclb;
+  return t.topo.is_netsmith || t.topo.parametric ? core::RoutingPolicy::kMclb
+                                                 : core::RoutingPolicy::kNdbt;
+}
+
+void Study::expand() {
+  std::map<std::string, int> topo_index;
+  // display_name: per-ref label ("" = the artifact's own name). Kept off
+  // the cache key so renamed duplicates still share one artifact.
+  auto add_ref = [&](TopologyArtifact art, const std::string& display_name) {
+    ref_names_.push_back(display_name.empty() ? art.topo.name : display_name);
+    const auto [it, inserted] =
+        topo_index.emplace(art.key, static_cast<int>(utopos_.size()));
+    if (inserted) utopos_.push_back(std::move(art));
+    topo_refs_.push_back(it->second);
+  };
+  auto built = [](TopologySource src, topologies::NamedTopology nt,
+                  std::string key) {
+    TopologyArtifact art;
+    art.source = src;
+    art.key = std::move(key);
+    art.topo = std::move(nt);
+    return art;
+  };
+
+  for (const auto& ts : spec_.topologies) {
+    switch (ts.source) {
+      case TopologySource::kBaseline: {
+        auto nt = topologies::make_spec(ts.baseline);
+        const std::string key = "baseline:" + nt.spec;
+        add_ref(built(ts.source, std::move(nt), key), ts.name);
+        break;
+      }
+      case TopologySource::kCatalog: {
+        auto cat = ts.catalog_routers == 48
+                       ? topologies::catalog_48()
+                       : topologies::catalog(ts.catalog_routers);
+        const std::string prefix =
+            "catalog:" + std::to_string(ts.catalog_routers) + ":";
+        if (!ts.name.empty()) {
+          if (ts.include_baselines)
+            throw std::invalid_argument(
+                "study: catalog row selector '" + ts.name +
+                "' cannot combine with include_baselines");
+          auto row = topologies::find(cat, ts.name);
+          add_ref(built(ts.source, std::move(row), prefix + ts.name), "");
+        } else {
+          for (auto& row : cat) {
+            const std::string key = prefix + row.name;
+            add_ref(built(ts.source, std::move(row), key), "");
+          }
+          if (ts.include_baselines) {
+            // Parametric rows are baseline artifacts (matching their cache
+            // key), however they were reached.
+            for (auto& row :
+                 topologies::baseline_catalog(ts.catalog_routers)) {
+              const std::string key = "baseline:" + row.spec;
+              add_ref(built(TopologySource::kBaseline, std::move(row), key),
+                      "");
+            }
+          }
+        }
+        break;
+      }
+      case TopologySource::kExplicit: {
+        topologies::NamedTopology nt;
+        nt.graph = topo::DiGraph::from_string(ts.adjacency);
+        if (nt.graph.num_nodes() != ts.rows * ts.cols)
+          throw std::invalid_argument(
+              "study: explicit adjacency has " +
+              std::to_string(nt.graph.num_nodes()) + " nodes but layout is " +
+              std::to_string(ts.rows) + "x" + std::to_string(ts.cols));
+        nt.layout = topo::Layout{ts.rows, ts.cols, 2.0};
+        nt.link_class = link_class_from_string(ts.link_class);
+        nt.name = "explicit-" + std::to_string(nt.graph.num_nodes());
+        const std::string key = "explicit:" + std::to_string(ts.rows) + "x" +
+                                std::to_string(ts.cols) + ":" + ts.link_class +
+                                ":" + ts.adjacency;
+        add_ref(built(ts.source, std::move(nt), key), ts.name);
+        break;
+      }
+      case TopologySource::kSynthesize: {
+        for (const auto& obj : ts.objectives) {
+          TopologyArtifact art;
+          art.source = ts.source;
+          art.max_moves = ts.max_moves;
+          auto& cfg = art.synth_cfg;
+          const int rows = ts.rows > 0 ? ts.rows : 4;
+          const int cols = ts.cols > 0 ? ts.cols : 5;
+          cfg.layout = topo::Layout{rows, cols, 2.0};
+          cfg.link_class = link_class_from_string(ts.link_class);
+          cfg.radix = ts.radix;
+          cfg.symmetric_links = ts.symmetric_links;
+          cfg.objective = objective_from_string(obj);
+          cfg.diameter_bound = ts.diameter_bound;
+          cfg.min_cut_bandwidth = ts.min_cut_bandwidth;
+          cfg.load_weight = ts.load_weight;
+          cfg.time_limit_s = ts.time_limit_s;
+          cfg.seed = ts.synth_seed;
+          cfg.restarts = ts.restarts;
+          art.key = "synth:obj=" + obj + ";grid=" + std::to_string(rows) +
+                    "x" + std::to_string(cols) + ";class=" + ts.link_class +
+                    ";radix=" + std::to_string(ts.radix) +
+                    ";sym=" + (ts.symmetric_links ? "1" : "0") +
+                    ";diam=" + std::to_string(ts.diameter_bound) +
+                    ";mincut=" + fmt_double(ts.min_cut_bandwidth) +
+                    ";lw=" + fmt_double(ts.load_weight) +
+                    ";t=" + fmt_double(ts.time_limit_s) +
+                    ";seed=" + std::to_string(ts.synth_seed) +
+                    ";restarts=" + std::to_string(ts.restarts) +
+                    ";moves=" + std::to_string(ts.max_moves);
+          auto& nt = art.topo;
+          nt.layout = cfg.layout;
+          nt.link_class = cfg.link_class;
+          nt.machine_generated = true;
+          nt.is_netsmith = true;
+          nt.name = "NS-" + obj + "-" + topo::to_string(cfg.link_class) +
+                    "-" + std::to_string(cfg.layout.n());
+          std::string display = ts.name;
+          if (!display.empty() && ts.objectives.size() > 1)
+            display += "-" + obj;
+          add_ref(std::move(art), display);
+        }
+        break;
+      }
+    }
+  }
+
+  stats_.topology_refs = static_cast<int>(topo_refs_.size());
+  stats_.unique_topologies = static_cast<int>(utopos_.size());
+  stats_.topology_cache_hits = stats_.topology_refs - stats_.unique_topologies;
+
+  // Plan grid: refs x seeds, deduped on (topology key, build parameters).
+  std::map<std::string, int> plan_index;
+  for (int ref = 0; ref < stats_.topology_refs; ++ref) {
+    const int u = topo_refs_[ref];
+    const auto policy = policy_for(utopos_[u]);
+    for (std::uint64_t seed : spec_.seeds) {
+      const std::string key =
+          utopos_[u].key + "|policy=" + core::to_string(policy) +
+          ";vcs=" + std::to_string(spec_.num_vcs) +
+          ";paths=" + std::to_string(spec_.max_paths_per_flow) +
+          ";seed=" + std::to_string(seed) +
+          (spec_.chiplet_system ? ";chiplet" : "");
+      const auto [it, inserted] =
+          plan_index.emplace(key, static_cast<int>(uplans_.size()));
+      if (inserted) {
+        PlanArtifact p;
+        p.key = key;
+        p.topology = u;
+        p.seed = seed;
+        uplans_.push_back(std::move(p));
+      }
+      plan_refs_.push_back(it->second);
+    }
+  }
+  stats_.plan_refs = static_cast<int>(plan_refs_.size());
+  stats_.unique_plans = static_cast<int>(uplans_.size());
+  stats_.plan_cache_hits = stats_.plan_refs - stats_.unique_plans;
+
+  // Sweeps: unique plans x traffic scenarios.
+  const int T = static_cast<int>(spec_.traffic.size());
+  sweep_of_plan_traffic_.assign(
+      static_cast<std::size_t>(stats_.unique_plans) * T, -1);
+  for (int p = 0; p < stats_.unique_plans; ++p) {
+    for (int t = 0; t < T; ++t) {
+      USweep s;
+      s.plan = p;
+      s.traffic = t;
+      sweep_of_plan_traffic_[static_cast<std::size_t>(p) * T + t] =
+          static_cast<int>(usweeps_.size());
+      usweeps_.push_back(std::move(s));
+    }
+  }
+  stats_.sweep_jobs = static_cast<int>(usweeps_.size());
+  stats_.power_jobs = spec_.power.enabled ? stats_.unique_topologies : 0;
+  stats_.jobs_total = stats_.unique_topologies + stats_.unique_plans +
+                      stats_.sweep_jobs + stats_.power_jobs;
+  upower_.assign(static_cast<std::size_t>(utopos_.size()), power::PowerArea{});
+}
+
+// ------------------------------------------------------------ job bodies --
+
+void Study::run_topology_job(TopologyArtifact& t) {
+  if (t.source == TopologySource::kSynthesize) {
+    core::AnnealOptions ao;
+    // One annealer thread per job: the Study pool is the parallelism layer,
+    // and serial restarts keep the result independent of pool width.
+    ao.threads = 1;
+    ao.max_moves = t.max_moves;
+    t.synth = core::anneal_synthesize(t.synth_cfg, ao);
+    t.topo.graph = t.synth.graph;
+    t.synthesized = true;
+    synth_count_.fetch_add(1);
+  }
+  if (spec_.analytic) {
+    const auto& g = t.topo.graph;
+    t.avg_hops = topo::average_hops(g);
+    t.diameter = topo::diameter(g);
+    t.bisection_bw = topo::bisection_bandwidth(g);
+    t.cut_bound = routing::cut_bound(g);
+    if (t.topo.extra_edge_delay.rows() > 0 && g.num_directed_edges() > 0) {
+      long extra = 0;
+      for (const auto& [i, j] : g.edges()) extra += t.topo.extra_edge_delay(i, j);
+      t.avg_extra_edge_delay =
+          static_cast<double>(extra) / g.num_directed_edges();
+    }
+  }
+}
+
+void Study::run_plan_job(PlanArtifact& p) {
+  const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
+  const auto policy = policy_for(t);
+  if (spec_.chiplet_system) {
+    p.system = system::build_chiplet_system(t.topo.graph, t.topo.layout);
+    p.has_system = true;
+    p.plan = core::plan_network(p.system.graph, t.topo.layout, policy,
+                                spec_.num_vcs, p.seed,
+                                spec_.max_paths_per_flow);
+  } else {
+    p.plan = core::plan_network(t.topo.graph, t.topo.layout, policy,
+                                spec_.num_vcs, p.seed,
+                                spec_.max_paths_per_flow);
+  }
+}
+
+void Study::run_sweep_job(USweep& s) {
+  const auto& p = uplans_[static_cast<std::size_t>(s.plan)];
+  const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
+  const auto& ts = spec_.traffic[static_cast<std::size_t>(s.traffic)];
+
+  sim::SimConfig cfg = make_sim_config(spec_);
+  cfg.extra_edge_delay =
+      p.has_system ? p.system.extra_delay : t.topo.extra_edge_delay;
+  const double clock = topo::clock_ghz(t.topo.link_class);
+
+  sim::TrafficConfig traffic;
+  double max_override = spec_.sweep.max_rate;
+  if (ts.kind == "tornado") {
+    const auto pattern = core::tornado_pattern(p.plan.graph.num_nodes());
+    traffic = sim::traffic_from_pattern(pattern, /*injection_rate=*/0.01);
+    if (max_override <= 0.0) {
+      // The uniform-traffic auto bound does not apply; cap by the pattern's
+      // routed channel-load bound instead (mirrors sweep_to_saturation).
+      const double bound =
+          routing::analyze_pattern(p.plan.table, pattern).throughput_bound();
+      const double rate = bound > 0.0 ? std::min(1.0, 1.6 * bound) : 0.5;
+      const double avg_flits =
+          ts.ctrl_flits + ts.data_fraction * (ts.data_flits - ts.ctrl_flits);
+      max_override = rate / std::max(1.0, avg_flits);
+    }
+  } else if (ts.kind == "memory") {
+    traffic.kind = sim::TrafficKind::kMemory;
+    traffic.mc_nodes =
+        p.has_system ? p.system.mc_routers : sim::mc_nodes(t.topo.layout);
+  } else if (ts.kind == "shuffle") {
+    traffic.kind = sim::TrafficKind::kShuffle;
+  } else {
+    traffic.kind = sim::TrafficKind::kCoherence;
+  }
+  traffic.ctrl_flits = ts.ctrl_flits;
+  traffic.data_flits = ts.data_flits;
+  traffic.data_fraction = ts.data_fraction;
+
+  sim::SweepOptions opt;
+  opt.adaptive = spec_.sweep.adaptive;
+  s.result = sim::sweep_to_saturation(p.plan, traffic, cfg, clock,
+                                      spec_.sweep.points, max_override, opt);
+}
+
+// -------------------------------------------------------------- execution --
+
+void Study::run_jobs() {
+  std::vector<Job> jobs(static_cast<std::size_t>(stats_.jobs_total));
+  const int UT = stats_.unique_topologies;
+  const int UP = stats_.unique_plans;
+  const int US = stats_.sweep_jobs;
+  // Job ids: [0, UT) topologies, [UT, UT+UP) plans, then sweeps, then power.
+  for (int i = 0; i < UT; ++i)
+    jobs[static_cast<std::size_t>(i)].fn = [this, i] {
+      run_topology_job(utopos_[static_cast<std::size_t>(i)]);
+    };
+  for (int i = 0; i < UP; ++i) {
+    auto& j = jobs[static_cast<std::size_t>(UT + i)];
+    j.fn = [this, i] { run_plan_job(uplans_[static_cast<std::size_t>(i)]); };
+    j.pending = 1;
+    jobs[static_cast<std::size_t>(uplans_[static_cast<std::size_t>(i)].topology)]
+        .dependents.push_back(UT + i);
+  }
+  for (int i = 0; i < US; ++i) {
+    auto& j = jobs[static_cast<std::size_t>(UT + UP + i)];
+    j.fn = [this, i] { run_sweep_job(usweeps_[static_cast<std::size_t>(i)]); };
+    j.pending = 1;
+    jobs[static_cast<std::size_t>(
+             UT + usweeps_[static_cast<std::size_t>(i)].plan)]
+        .dependents.push_back(UT + UP + i);
+  }
+  if (spec_.power.enabled) {
+    for (int i = 0; i < UT; ++i) {
+      auto& j = jobs[static_cast<std::size_t>(UT + UP + US + i)];
+      j.fn = [this, i] {
+        const auto& t = utopos_[static_cast<std::size_t>(i)];
+        upower_[static_cast<std::size_t>(i)] = power::estimate(
+            t.topo.graph, t.topo.layout, topo::clock_ghz(t.topo.link_class),
+            spec_.power.flits_per_node_cycle, spec_.num_vcs);
+      };
+      j.pending = 1;
+      jobs[static_cast<std::size_t>(i)].dependents.push_back(UT + UP + US + i);
+    }
+  }
+
+  int width = opts_.threads >= 0 ? opts_.threads : spec_.threads;
+  if (width <= 0) {
+    width = static_cast<int>(std::thread::hardware_concurrency());
+    if (width <= 0) width = 1;
+  }
+  width = std::min<int>(width, std::max(1, stats_.jobs_total));
+
+  try {
+    run_dag(jobs, width);
+  } catch (...) {
+    stats_.syntheses_run = synth_count_.load();
+    throw;
+  }
+  stats_.syntheses_run = synth_count_.load();
+}
+
+// --------------------------------------------------------------- assembly --
+
+Report Study::assemble() const {
+  Report rep;
+  rep.spec = spec_;
+  rep.stats = stats_;
+#if defined(_OPENMP)
+  rep.omp_max_threads = omp_get_max_threads();
+#else
+  rep.omp_max_threads = 1;
+#endif
+
+  const int S = static_cast<int>(spec_.seeds.size());
+  const int T = static_cast<int>(spec_.traffic.size());
+
+  for (int ref = 0; ref < stats_.topology_refs; ++ref) {
+    const auto& t = utopos_[static_cast<std::size_t>(topo_refs_[ref])];
+    TopologyRow row;
+    row.name = ref_names_[static_cast<std::size_t>(ref)];
+    row.key = t.key;
+    row.factory_spec = t.topo.spec;
+    row.source = to_string(t.source);
+    row.link_class = topo::to_string(t.topo.link_class);
+    row.clock_ghz = topo::clock_ghz(t.topo.link_class);
+    row.routers = t.topo.graph.num_nodes();
+    row.duplex_links = t.topo.graph.duplex_links();
+    row.adjacency = t.topo.graph.to_string();
+    row.is_netsmith = t.topo.is_netsmith;
+    row.parametric = t.topo.parametric;
+    row.avg_hops = t.avg_hops;
+    row.diameter = t.diameter;
+    row.bisection_bw = t.bisection_bw;
+    row.cut_bound = t.cut_bound;
+    row.avg_extra_edge_delay = t.avg_extra_edge_delay;
+    row.synthesized = t.synthesized;
+    if (t.synthesized) {
+      row.objective = objective_to_string(t.synth_cfg.objective);
+      row.objective_value = t.synth.objective_value;
+      row.bound = t.synth.bound;
+      row.moves = t.synth.moves;
+      row.trace = t.synth.trace;
+    }
+    rep.topologies.push_back(std::move(row));
+  }
+
+  for (int ref = 0; ref < stats_.topology_refs; ++ref) {
+    for (int s = 0; s < S; ++s) {
+      const auto& p =
+          uplans_[static_cast<std::size_t>(plan_refs_[ref * S + s])];
+      PlanRow row;
+      row.topology = ref;
+      row.key = p.key;
+      row.policy = core::to_string(p.plan.policy);
+      row.num_vcs = p.plan.num_vcs;
+      row.seed = p.plan.seed;
+      row.max_paths_per_flow = p.plan.max_paths_per_flow;
+      row.max_channel_load = p.plan.max_channel_load;
+      row.routed_bound = p.plan.max_channel_load > 0.0
+                             ? 1.0 / p.plan.max_channel_load
+                             : 0.0;
+      row.vc_layers = p.plan.vc_layers;
+      row.ndbt_fallback_flows = p.plan.ndbt_fallback_flows;
+      row.chiplet_system = p.has_system;
+      row.system_routers = p.has_system ? p.system.graph.num_nodes() : 0;
+      rep.plans.push_back(std::move(row));
+    }
+  }
+
+  for (int ref = 0; ref < stats_.topology_refs; ++ref) {
+    for (int s = 0; s < S; ++s) {
+      const int uplan = plan_refs_[ref * S + s];
+      for (int k = 0; k < T; ++k) {
+        const auto& sw = usweeps_[static_cast<std::size_t>(
+            sweep_of_plan_traffic_[static_cast<std::size_t>(uplan) * T + k])];
+        SweepRow row;
+        row.plan = ref * S + s;
+        row.traffic = spec_.traffic[static_cast<std::size_t>(k)].label();
+        row.zero_load_latency_cycles = sw.result.zero_load_latency_cycles;
+        row.zero_load_latency_ns = sw.result.zero_load_latency_ns;
+        row.saturation_pkt_node_cycle = sw.result.saturation_pkt_node_cycle;
+        row.saturation_pkt_node_ns = sw.result.saturation_pkt_node_ns;
+        row.omp_threads = sw.result.omp_threads;
+        for (const auto& pt : sw.result.points) {
+          SweepPointRow pr;
+          pr.offered_pkt_node_cycle = pt.offered_pkt_node_cycle;
+          pr.accepted_pkt_node_cycle = pt.stats.accepted;
+          pr.accepted_pkt_node_ns = pt.accepted_pkt_node_ns;
+          pr.latency_cycles = pt.stats.avg_latency_cycles;
+          pr.latency_ns = pt.latency_ns;
+          pr.saturated = pt.stats.saturated;
+          row.points.push_back(pr);
+        }
+        rep.sweeps.push_back(std::move(row));
+      }
+    }
+  }
+
+  if (spec_.power.enabled) {
+    for (int ref = 0; ref < stats_.topology_refs; ++ref) {
+      const auto& pa = upower_[static_cast<std::size_t>(topo_refs_[ref])];
+      PowerRow row;
+      row.topology = ref;
+      row.dynamic_mw = pa.dynamic_mw;
+      row.leakage_mw = pa.leakage_mw;
+      row.router_area_mm2 = pa.router_area_mm2;
+      row.wire_area_mm2 = pa.wire_area_mm2;
+      rep.power.push_back(row);
+    }
+  }
+  return rep;
+}
+
+Report Study::run() {
+  if (ran_) throw std::logic_error("study: run() already called");
+  ran_ = true;
+  run_jobs();
+  return assemble();
+}
+
+const PlanArtifact& Study::plan_for(int topology_ref, int seed_index) const {
+  const int S = static_cast<int>(spec_.seeds.size());
+  return uplans_[static_cast<std::size_t>(
+      plan_refs_[static_cast<std::size_t>(topology_ref) * S + seed_index])];
+}
+
+Report run_experiment(const ExperimentSpec& spec, StudyOptions opts) {
+  Study study(spec, opts);
+  return study.run();
+}
+
+}  // namespace netsmith::api

@@ -1,0 +1,128 @@
+#pragma once
+// Study runner: expands an ExperimentSpec's grid (topologies x objectives x
+// seeds x traffic) into a job DAG with shared-artifact caching and executes
+// it on a thread pool.
+//
+// Artifact sharing: every distinct topology key is synthesized/built exactly
+// once, every distinct plan key routed exactly once, and every distinct
+// (plan, traffic) pair simulated exactly once, no matter how many grid rows
+// reference it. Jobs run as their dependencies finish; each job writes only
+// its own slot, so the assembled Report is byte-identical across thread
+// counts (OpenMP width inside a sweep is the one environmental input, and it
+// is recorded per sweep row).
+//
+// DAG shape:   topology ──► plan ──► sweep (x traffic)
+//                   └─────► power
+//
+// Keys (DESIGN.md "Experiment API"): topology keys canonicalize the source
+// ("baseline:<family:k=v>", "catalog:<routers>:<row>", "explicit:<adjacency>",
+// "synth:<full config>"); plan keys append policy/vcs/seed/path-budget/
+// chiplet so caches never alias plans built differently.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/report.hpp"
+#include "api/spec.hpp"
+#include "power/dsent_lite.hpp"
+#include "system/chiplet.hpp"
+#include "topologies/registry.hpp"
+
+namespace netsmith::api {
+
+struct TopologyArtifact {
+  std::string key;
+  TopologySource source = TopologySource::kBaseline;
+  topologies::NamedTopology topo;  // synthesize: graph filled by the job
+  // Synthesize inputs (pending until the job runs).
+  core::SynthesisConfig synth_cfg;
+  long max_moves = 0;
+  bool synthesized = false;
+  core::SynthesisResult synth;
+  // spec.analytic metrics (filled by the topology job).
+  double avg_hops = 0.0;
+  int diameter = 0;
+  int bisection_bw = 0;
+  double cut_bound = 0.0;
+  double avg_extra_edge_delay = 0.0;
+};
+
+struct PlanArtifact {
+  std::string key;
+  int topology = -1;  // index into Study::topology_artifacts()
+  std::uint64_t seed = 0;
+  core::NetworkPlan plan;
+  bool has_system = false;
+  system::ChipletSystem system;  // spec.chiplet_system only
+};
+
+struct StudyOptions {
+  // Thread-pool width; -1 = spec.threads, 0 = hardware concurrency. Does
+  // not affect results, only wall clock.
+  int threads = -1;
+};
+
+class Study {
+ public:
+  // Expands the grid and resolves every non-synthesized topology; throws
+  // std::invalid_argument on unknown factory specs / catalog rows.
+  explicit Study(ExperimentSpec spec, StudyOptions opts = {});
+
+  // Executes the job DAG and assembles the report. Callable once.
+  Report run();
+
+  const ExperimentSpec& spec() const { return spec_; }
+  const StudyStats& stats() const { return stats_; }
+
+  // Shared artifacts (valid after run()), for callers that post-process
+  // beyond the report — e.g. the full-system workload example replays
+  // PARSEC traffic over the cached plans.
+  const std::vector<TopologyArtifact>& topology_artifacts() const {
+    return utopos_;
+  }
+  const std::vector<PlanArtifact>& plan_artifacts() const { return uplans_; }
+  // Unique plan artifact serving grid row (topology_ref, seed_index).
+  const PlanArtifact& plan_for(int topology_ref, int seed_index = 0) const;
+
+  // Routing policy a topology gets under spec.routing ("auto" = MCLB for
+  // machine/parametric/explicit topologies, NDBT for expert designs).
+  core::RoutingPolicy policy_for(const TopologyArtifact& t) const;
+
+ private:
+  struct USweep {
+    int plan = -1;
+    int traffic = -1;
+    sim::SweepResult result;
+  };
+
+  void expand();
+  void run_jobs();
+  void run_topology_job(TopologyArtifact& t);
+  void run_plan_job(PlanArtifact& p);
+  void run_sweep_job(USweep& s);
+  Report assemble() const;
+
+  ExperimentSpec spec_;
+  StudyOptions opts_;
+  StudyStats stats_;
+  bool ran_ = false;
+  std::atomic<int> synth_count_{0};
+
+  std::vector<TopologyArtifact> utopos_;
+  std::vector<int> topo_refs_;  // grid ref -> unique topology index
+  // Per-ref display names: name overrides are presentation-only and must
+  // not defeat artifact dedup, so they live on the ref, not the key.
+  std::vector<std::string> ref_names_;
+  std::vector<PlanArtifact> uplans_;
+  std::vector<int> plan_refs_;  // ref * seeds + seed_idx -> unique plan
+  std::vector<USweep> usweeps_;
+  std::vector<int> sweep_of_plan_traffic_;  // uplan * traffic -> usweep (-1)
+  std::vector<power::PowerArea> upower_;    // per unique topology
+};
+
+// Convenience one-shot: Study(spec).run().
+Report run_experiment(const ExperimentSpec& spec, StudyOptions opts = {});
+
+}  // namespace netsmith::api

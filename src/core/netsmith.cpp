@@ -56,11 +56,19 @@ SynthesisResult synthesize_exact(const SynthesisConfig& cfg,
   return result;
 }
 
+const char* to_string(RoutingPolicy p) {
+  return p == RoutingPolicy::kMclb ? "mclb" : "ndbt";
+}
+
 NetworkPlan plan_network(const topo::DiGraph& g, const topo::Layout& layout,
                          RoutingPolicy policy, int num_vcs,
                          std::uint64_t seed, int max_paths_per_flow) {
   NetworkPlan plan;
   plan.graph = g;
+  plan.policy = policy;
+  plan.num_vcs = num_vcs;
+  plan.seed = seed;
+  plan.max_paths_per_flow = max_paths_per_flow;
 
   const auto all_paths = routing::enumerate_shortest_paths(g, max_paths_per_flow);
   util::Rng rng(seed);

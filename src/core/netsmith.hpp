@@ -23,6 +23,10 @@ SynthesisResult synthesize(const SynthesisConfig& cfg);
 SynthesisResult synthesize_exact(const SynthesisConfig& cfg,
                                  const lp::MilpOptions& opts = {});
 
+enum class RoutingPolicy { kMclb, kNdbt };
+
+const char* to_string(RoutingPolicy p);
+
 // Everything the simulator needs to run a topology deadlock-free.
 struct NetworkPlan {
   topo::DiGraph graph;
@@ -31,9 +35,13 @@ struct NetworkPlan {
   double max_channel_load = 0.0;  // normalized, from the chosen routing
   int vc_layers = 0;
   int ndbt_fallback_flows = 0;  // NDBT only: flows that needed the fallback
+  // Provenance: how plan_network built this plan. Reports key result rows on
+  // these fields and artifact caches key plan reuse on them.
+  RoutingPolicy policy = RoutingPolicy::kMclb;
+  int num_vcs = 0;
+  std::uint64_t seed = 0;
+  int max_paths_per_flow = 0;
 };
-
-enum class RoutingPolicy { kMclb, kNdbt };
 
 // Builds routing tables + VC allocation for an arbitrary topology.
 //  - kMclb: MCLB path selection over all shortest paths (NetSmith's choice).

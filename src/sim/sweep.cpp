@@ -48,6 +48,7 @@ SweepResult injection_sweep(const core::NetworkPlan& plan,
 #else
   const std::size_t wave = 1;
 #endif
+  result.omp_threads = static_cast<int>(wave);
   const std::size_t total = rates.size() + 1;
   bool saturated_seen = false;
   for (std::size_t begin = 0; begin < total; begin += wave) {

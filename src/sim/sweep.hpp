@@ -33,6 +33,10 @@ struct SweepResult {
   // Highest accepted throughput with latency below the saturation threshold.
   double saturation_pkt_node_cycle = 0.0;
   double saturation_pkt_node_ns = 0.0;
+  // OpenMP thread count the sweep ran with. Adaptive truncation decisions
+  // depend on the wave size (= thread count), so results are only
+  // reproducible for the same value; reports surface it as provenance.
+  int omp_threads = 1;
 };
 
 // Geometric-ish grid of offered rates up to max_rate.

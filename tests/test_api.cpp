@@ -1,0 +1,328 @@
+// Experiment API coverage: spec JSON round-trip, Study artifact caching
+// (one synthesis per unique topology key), plan provenance, and Report
+// determinism across runner thread counts.
+
+#include <gtest/gtest.h>
+
+#include "api/report.hpp"
+#include "api/study.hpp"
+
+namespace netsmith::api {
+namespace {
+
+// A spec touching every field with non-default values.
+ExperimentSpec full_spec() {
+  ExperimentSpec spec;
+  spec.name = "round trip \"quoted\"";
+  TopologySpec synth;
+  synth.source = TopologySource::kSynthesize;
+  synth.name = "mini";
+  synth.rows = 3;
+  synth.cols = 3;
+  synth.link_class = "small";
+  synth.objectives = {"latop", "scop"};
+  synth.radix = 3;
+  synth.symmetric_links = true;
+  synth.diameter_bound = 5;
+  synth.min_cut_bandwidth = 0.125;
+  synth.load_weight = 2.5;
+  synth.time_limit_s = 0.75;
+  synth.synth_seed = 99;
+  synth.restarts = 2;
+  synth.max_moves = 500;
+  TopologySpec base;
+  base.source = TopologySource::kBaseline;
+  base.baseline = "folded_torus:rows=3,cols=4";
+  TopologySpec cat;
+  cat.source = TopologySource::kCatalog;
+  cat.catalog_routers = 20;
+  cat.name = "Kite-small";
+  TopologySpec expl;
+  expl.source = TopologySource::kExplicit;
+  expl.name = "tiny-ring";
+  expl.adjacency = "4:0>1,1>0,1>2,2>1,2>3,3>2,3>0,0>3";
+  expl.rows = 2;
+  expl.cols = 2;
+  expl.link_class = "small";
+  spec.topologies = {synth, base, cat, expl};
+  spec.routing = "mclb";
+  spec.num_vcs = 4;
+  spec.max_paths_per_flow = 9;
+  spec.chiplet_system = true;
+  spec.seeds = {3, 17};
+  spec.analytic = false;
+  spec.traffic = {TrafficSpec{"coh", "coherence", 2, 11, 0.75},
+                  TrafficSpec{"", "memory"}};
+  spec.sweep.points = 5;
+  spec.sweep.max_rate = 0.35;
+  spec.sweep.adaptive = false;
+  spec.sweep.warmup = 123;
+  spec.sweep.measure = 456;
+  spec.sweep.drain = 789;
+  spec.sweep.buf_flits = 5;
+  spec.sweep.io_flits_per_cycle = 1;
+  spec.sweep.router_delay = 3;
+  spec.sweep.link_delay = 2;
+  spec.sweep.sim_seed = 21;
+  spec.power.enabled = true;
+  spec.power.flits_per_node_cycle = 0.0625;
+  spec.threads = 3;
+  return spec;
+}
+
+TEST(SpecRoundTrip, ParseSerializeExact) {
+  const ExperimentSpec spec = full_spec();
+  const std::string json = serialize(spec);
+  const ExperimentSpec back = parse_spec(json);
+  EXPECT_TRUE(back == spec);
+  // Serialization is canonical: a second cycle is byte-identical.
+  EXPECT_EQ(serialize(back), json);
+}
+
+TEST(SpecRoundTrip, DefaultsFillIn) {
+  const auto spec = parse_spec(
+      R"({"topologies": [{"source": "baseline", "baseline": "mesh:rows=3,cols=3"}]})");
+  EXPECT_EQ(spec.num_vcs, 6);
+  EXPECT_EQ(spec.max_paths_per_flow, 48);
+  EXPECT_EQ(spec.routing, "auto");
+  ASSERT_EQ(spec.seeds.size(), 1u);
+  EXPECT_EQ(spec.seeds[0], 7u);
+  EXPECT_EQ(spec.sweep.points, 10);
+  EXPECT_FALSE(spec.power.enabled);
+  EXPECT_TRUE(parse_spec(serialize(spec)) == spec);
+}
+
+TEST(SpecParse, RejectsMalformed) {
+  const char* ok =
+      R"({"topologies": [{"source": "baseline", "baseline": "mesh:rows=3,cols=3"}]})";
+  EXPECT_NO_THROW(parse_spec(ok));
+  // Unknown key.
+  EXPECT_THROW(
+      parse_spec(
+          R"({"topologies": [{"source": "baseline", "baseline": "m", "typo": 1}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(parse_spec(R"({"topologies": [], "zzz": 1})"),
+               std::invalid_argument);
+  // Structural problems.
+  EXPECT_THROW(parse_spec(R"({"topologies": []})"), std::invalid_argument);
+  EXPECT_THROW(parse_spec(R"({"topologies": [{"source": "explicit"}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec(
+          R"({"schema_version": 99, "topologies": [{"source": "baseline", "baseline": "m"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec(
+          R"({"routing": "magic", "topologies": [{"source": "baseline", "baseline": "m"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec(
+          R"({"topologies": [{"source": "synthesize", "objectives": ["bogus"]}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_spec(
+          R"({"traffic": [{"kind": "warp"}], "topologies": [{"source": "baseline", "baseline": "m"}]})"),
+      std::invalid_argument);
+  // Not JSON at all.
+  EXPECT_THROW(parse_spec("not json"), std::invalid_argument);
+}
+
+// One synthesis per unique topology key, however often the grid references
+// it: the same synthesize entry listed twice shares one artifact, and the
+// seed grid multiplies plans, not syntheses.
+TEST(Study, ArtifactCacheSharesSyntheses) {
+  ExperimentSpec spec;
+  spec.name = "cache";
+  TopologySpec synth;
+  synth.source = TopologySource::kSynthesize;
+  synth.rows = 3;
+  synth.cols = 4;
+  synth.link_class = "small";
+  synth.radix = 3;
+  synth.objectives = {"latop"};
+  synth.restarts = 1;
+  synth.max_moves = 300;  // move-budgeted: deterministic and fast
+  synth.time_limit_s = 30.0;
+  spec.topologies = {synth, synth};  // same key twice
+  spec.seeds = {7, 11};
+  spec.analytic = false;
+
+  Study study(spec, StudyOptions{2});
+  const Report report = study.run();
+  const auto& st = study.stats();
+  EXPECT_EQ(st.topology_refs, 2);
+  EXPECT_EQ(st.unique_topologies, 1);
+  EXPECT_EQ(st.topology_cache_hits, 1);
+  EXPECT_EQ(st.syntheses_run, 1);  // the tentpole cache guarantee
+  EXPECT_EQ(st.plan_refs, 4);      // 2 refs x 2 seeds
+  EXPECT_EQ(st.unique_plans, 2);   // deduped to unique topology x seed
+  EXPECT_EQ(st.plan_cache_hits, 2);
+  EXPECT_EQ(st.sweep_jobs, 0);
+
+  // Rows still appear per grid reference, sharing the cached artifacts.
+  ASSERT_EQ(report.topologies.size(), 2u);
+  EXPECT_EQ(report.topologies[0].key, report.topologies[1].key);
+  EXPECT_EQ(report.topologies[0].adjacency, report.topologies[1].adjacency);
+  EXPECT_TRUE(report.topologies[0].synthesized);
+  ASSERT_EQ(report.plans.size(), 4u);
+  EXPECT_EQ(report.plans[0].key, report.plans[2].key);
+  EXPECT_EQ(report.plans[0].seed, 7u);
+  EXPECT_EQ(report.plans[1].seed, 11u);
+}
+
+// Display-name overrides are per-row presentation: renamed duplicates still
+// share one artifact, and each report row keeps its own name.
+TEST(Study, RenamedDuplicatesShareArtifactKeepNames) {
+  ExperimentSpec spec;
+  TopologySpec a;
+  a.source = TopologySource::kBaseline;
+  a.baseline = "mesh:rows=3,cols=3";
+  a.name = "A";
+  TopologySpec b = a;
+  b.name = "B";
+  spec.topologies = {a, b};
+  spec.analytic = false;
+
+  Study study(spec);
+  const Report report = study.run();
+  EXPECT_EQ(study.stats().unique_topologies, 1);
+  ASSERT_EQ(report.topologies.size(), 2u);
+  EXPECT_EQ(report.topologies[0].name, "A");
+  EXPECT_EQ(report.topologies[1].name, "B");
+  EXPECT_EQ(report.topologies[0].key, report.topologies[1].key);
+}
+
+TEST(SpecRoundTrip, FullRangeSeeds) {
+  ExperimentSpec spec;
+  TopologySpec mesh;
+  mesh.source = TopologySource::kBaseline;
+  mesh.baseline = "mesh:rows=3,cols=3";
+  spec.topologies = {mesh};
+  spec.seeds = {0, 1ull << 63, ~0ull};  // above INT64_MAX included
+  TopologySpec synth;
+  synth.source = TopologySource::kSynthesize;
+  synth.synth_seed = 0x9E3779B97F4A7C15ull;
+  spec.topologies.push_back(synth);
+  EXPECT_TRUE(parse_spec(serialize(spec)) == spec);
+  // A raw decimal uint64 token parses too (not just the canonical form).
+  const auto s = parse_spec(
+      R"({"seeds": [18446744073709551615], "topologies": [{"source": "baseline", "baseline": "mesh:rows=3,cols=3"}]})");
+  ASSERT_EQ(s.seeds.size(), 1u);
+  EXPECT_EQ(s.seeds[0], ~0ull);
+}
+
+TEST(SpecParse, CatalogNameExcludesBaselines) {
+  EXPECT_THROW(
+      parse_spec(
+          R"({"topologies": [{"source": "catalog", "catalog_routers": 20, "name": "Kite-small", "include_baselines": true}]})"),
+      std::invalid_argument);
+}
+
+TEST(Study, PlanProvenanceAndPolicy) {
+  ExperimentSpec spec;
+  TopologySpec mesh;
+  mesh.source = TopologySource::kBaseline;
+  mesh.baseline = "mesh:rows=3,cols=4";
+  spec.topologies = {mesh};
+  spec.num_vcs = 4;
+  spec.max_paths_per_flow = 13;
+  spec.seeds = {5};
+  spec.analytic = false;
+
+  Study study(spec);
+  const Report report = study.run();
+  ASSERT_EQ(report.plans.size(), 1u);
+  const auto& plan = report.plans[0];
+  // Mesh is an expert design: paper policy under "auto" is NDBT.
+  EXPECT_EQ(plan.policy, "ndbt");
+  EXPECT_EQ(plan.num_vcs, 4);
+  EXPECT_EQ(plan.seed, 5u);
+  EXPECT_EQ(plan.max_paths_per_flow, 13);
+  // plan_network filled the provenance on the artifact itself too.
+  const auto& art = study.plan_for(0);
+  EXPECT_EQ(art.plan.policy, core::RoutingPolicy::kNdbt);
+  EXPECT_EQ(art.plan.num_vcs, 4);
+  EXPECT_EQ(art.plan.seed, 5u);
+  EXPECT_EQ(art.plan.max_paths_per_flow, 13);
+
+  ExperimentSpec forced = spec;
+  forced.routing = "mclb";
+  const Report r2 = Study(forced).run();
+  EXPECT_EQ(r2.plans[0].policy, "mclb");
+}
+
+// A fixed spec produces a byte-identical report JSON at any Study
+// thread-pool width (jobs write only their own slots; assembly is in grid
+// order).
+TEST(Study, ReportDeterministicAcrossThreadCounts) {
+  ExperimentSpec spec;
+  spec.name = "determinism";
+  TopologySpec mesh;
+  mesh.source = TopologySource::kBaseline;
+  mesh.baseline = "mesh:rows=3,cols=4";
+  TopologySpec torus;
+  torus.source = TopologySource::kBaseline;
+  torus.baseline = "folded_torus:rows=3,cols=4";
+  spec.topologies = {mesh, torus};
+  spec.seeds = {7, 9};
+  spec.analytic = true;
+  spec.traffic = {TrafficSpec{"", "coherence"}, TrafficSpec{"", "memory"}};
+  spec.sweep.points = 3;
+  spec.sweep.warmup = 200;
+  spec.sweep.measure = 600;
+  spec.sweep.drain = 2000;
+  spec.power.enabled = true;
+
+  const std::string serial =
+      report_to_json(Study(spec, StudyOptions{1}).run());
+  const std::string wide = report_to_json(Study(spec, StudyOptions{4}).run());
+  EXPECT_EQ(serial, wide);
+
+  // And the sweep rows carry the OpenMP provenance they ran with.
+  const Report r = Study(spec, StudyOptions{2}).run();
+  ASSERT_EQ(r.sweeps.size(), 8u);  // 2 topologies x 2 seeds x 2 traffic
+  for (const auto& sw : r.sweeps) {
+    EXPECT_GE(sw.omp_threads, 1);
+    EXPECT_EQ(sw.omp_threads, r.omp_max_threads);
+  }
+}
+
+TEST(Report, EmbeddedSpecRoundTrips) {
+  ExperimentSpec spec;
+  TopologySpec expl;
+  expl.source = TopologySource::kExplicit;
+  expl.adjacency = "4:0>1,1>0,1>2,2>1,2>3,3>2,3>0,0>3";
+  expl.rows = 2;
+  expl.cols = 2;
+  expl.link_class = "small";
+  spec.topologies = {expl};
+  spec.analytic = true;
+
+  const std::string json = report_to_json(Study(spec).run());
+  EXPECT_EQ(report_schema_version(json), kReportSchemaVersion);
+  EXPECT_TRUE(spec_from_report(json) == spec);
+}
+
+TEST(Study, RunTwiceThrows) {
+  ExperimentSpec spec;
+  TopologySpec mesh;
+  mesh.source = TopologySource::kBaseline;
+  mesh.baseline = "mesh:rows=3,cols=3";
+  spec.topologies = {mesh};
+  spec.analytic = false;
+  Study study(spec);
+  study.run();
+  EXPECT_THROW(study.run(), std::logic_error);
+}
+
+TEST(Study, UnknownBaselineThrowsAtExpansion) {
+  ExperimentSpec spec;
+  TopologySpec bad;
+  bad.source = TopologySource::kBaseline;
+  bad.baseline = "warpgate:rows=3";
+  spec.topologies = {bad};
+  EXPECT_THROW(Study s(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsmith::api

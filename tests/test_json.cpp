@@ -1,0 +1,146 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netsmith::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntsStayInts) {
+  // "2" is an int token, "2.0" is a double token; both survive a dump/parse
+  // cycle with their type (round-trip type stability).
+  const auto i = JsonValue::parse("2");
+  EXPECT_EQ(i.type(), JsonValue::Type::kInt);
+  EXPECT_EQ(i.dump(), "2\n");
+  const auto d = JsonValue::parse("2.0");
+  EXPECT_EQ(d.type(), JsonValue::Type::kDouble);
+  EXPECT_EQ(d.dump(), "2.0\n");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto v = JsonValue::parse(
+      R"({"a": [1, 2, 3], "b": {"c": true, "d": "x"}, "e": 1.25})");
+  EXPECT_EQ(v.at("a").items().size(), 3u);
+  EXPECT_EQ(v.at("a").items()[1].as_int(), 2);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_EQ(v.at("b").at("d").as_string(), "x");
+  EXPECT_DOUBLE_EQ(v.at("e").as_double(), 1.25);
+  EXPECT_EQ(v.find("zzz"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = JsonValue::parse(R"("a\"b\\c\nd\tA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} x"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,\"a\":2}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nan"), std::runtime_error);
+}
+
+TEST(JsonDump, RoundTripByteStable) {
+  // Objects keep insertion order and doubles dump shortest-exact, so a
+  // dump -> parse -> dump cycle is byte-identical.
+  JsonValue o = JsonValue::object();
+  o.set("name", JsonValue::string("x \"y\" \n z"));
+  o.set("pi", JsonValue::number(3.141592653589793));
+  o.set("tiny", JsonValue::number(1e-300));
+  o.set("neg", JsonValue::integer(-123456789012345LL));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::integer(1));
+  arr.push_back(JsonValue::number(0.1));
+  arr.push_back(JsonValue::boolean(false));
+  o.set("arr", std::move(arr));
+  JsonValue inner = JsonValue::object();
+  inner.set("empty_arr", JsonValue::array());
+  inner.set("empty_obj", JsonValue::object());
+  o.set("inner", std::move(inner));
+
+  const std::string once = o.dump();
+  const std::string twice = JsonValue::parse(once).dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(JsonDump, DoubleExactness) {
+  for (double d : {0.1, 1.0 / 3.0, 2.0, 1e17, 5e-324, -0.0}) {
+    const std::string s = JsonValue::number(d).dump();
+    EXPECT_DOUBLE_EQ(JsonValue::parse(s).as_double(), d) << s;
+  }
+}
+
+TEST(JsonValue, TypeErrors) {
+  EXPECT_THROW(JsonValue::integer(1).as_string(), std::runtime_error);
+  EXPECT_THROW(JsonValue::string("x").as_int(), std::runtime_error);
+  EXPECT_THROW(JsonValue::number(1.5).as_int(), std::runtime_error);
+  EXPECT_THROW(JsonValue::string("x").as_u64(), std::runtime_error);
+  // Negative int tokens are the serialized form of large uint64 values.
+  EXPECT_EQ(JsonValue::integer(-1).as_u64(), ~0ull);
+  EXPECT_THROW(JsonValue::object().items(), std::runtime_error);
+  EXPECT_THROW(JsonValue::array().at("k"), std::runtime_error);
+}
+
+TEST(JsonWriter, MatchesHandwrittenLayout) {
+  // The exact shape perf_report emitted before the writer existed
+  // (2-space indent, "key": value, closing brace on its own line).
+  JsonWriter w;
+  w.begin_object();
+  w.field_int("schema", 2);
+  w.field_bool("smoke", false);
+  w.begin_object("anneal");
+  w.field_fmt("moves_per_sec", "%.1f", 1234.56);
+  w.field_fmt("accept_rate", "%.4f", 0.25);
+  w.end();
+  w.begin_array("tags");
+  w.elem_string("a");
+  w.elem_fmt("%.2f", 1.5);
+  w.end();
+  w.field_string("note", "x\"y");
+  w.end();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"schema\": 2,\n"
+            "  \"smoke\": false,\n"
+            "  \"anneal\": {\n"
+            "    \"moves_per_sec\": 1234.6,\n"
+            "    \"accept_rate\": 0.2500\n"
+            "  },\n"
+            "  \"tags\": [\n"
+            "    \"a\",\n"
+            "    1.50\n"
+            "  ],\n"
+            "  \"note\": \"x\\\"y\"\n"
+            "}\n");
+  // And it parses.
+  EXPECT_EQ(JsonValue::parse(w.str()).at("schema").as_int(), 2);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_object("o");
+  w.end();
+  w.begin_array("a");
+  w.end();
+  w.end();
+  EXPECT_EQ(w.str(), "{\n  \"o\": {},\n  \"a\": []\n}\n");
+}
+
+}  // namespace
+}  // namespace netsmith::util
