@@ -146,6 +146,11 @@ std::string report_to_json(const Report& report) {
   JsonValue power = JsonValue::array();
   for (const auto& p : report.power) power.push_back(to_json(p));
   o.set("power", std::move(power));
+  // Always present (schema v2): the obs registry snapshot, or an empty
+  // object when the study ran without metrics collection.
+  o.set("metrics", report.metrics.type() == JsonValue::Type::kObject
+                       ? report.metrics
+                       : JsonValue::object());
   return o.dump();
 }
 

@@ -14,10 +14,13 @@
 
 #include "api/spec.hpp"
 #include "core/config.hpp"
+#include "util/json.hpp"
 
 namespace netsmith::api {
 
-inline constexpr int kReportSchemaVersion = 1;
+// v2: adds the top-level "metrics" block (obs registry snapshot; empty
+// object unless the study ran with metrics collection enabled).
+inline constexpr int kReportSchemaVersion = 2;
 
 // One expanded topology grid entry (spec order; duplicates share cache keys).
 struct TopologyRow {
@@ -116,6 +119,10 @@ struct Report {
   std::vector<PowerRow> power;
   StudyStats stats;
   int omp_max_threads = 1;
+  // obs registry snapshot (obs::metrics_to_json form) captured at assembly
+  // when metrics collection was enabled; null/empty otherwise. Timing-valued
+  // entries vary run to run, so determinism tests run with metrics off.
+  util::JsonValue metrics;
 };
 
 // Schema-stamped JSON document (trailing newline, deterministic field

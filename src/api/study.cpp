@@ -11,6 +11,9 @@
 #include <thread>
 
 #include "core/objective.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/channel_load.hpp"
 #include "topo/cuts.hpp"
 #include "topo/metrics.hpp"
@@ -381,21 +384,44 @@ void Study::run_jobs() {
   const int UT = stats_.unique_topologies;
   const int UP = stats_.unique_plans;
   const int US = stats_.sweep_jobs;
+  // Every job body runs under a lifecycle span (one track per pool worker in
+  // the trace) and adds its wall time to the shared busy clock, from which
+  // the post-DAG flush derives pool utilization. The jobs vector outlives
+  // run_dag's join, so capturing busy_us by reference is safe.
+  std::atomic<long long> busy_us{0};
+  const auto timed = [&busy_us](const char* name, int index, auto&& body) {
+    const double t0 = obs::now_us();
+    {
+      obs::Span span(name);
+      span.arg("index", index);
+      body();
+    }
+    busy_us.fetch_add(static_cast<long long>(obs::now_us() - t0),
+                      std::memory_order_relaxed);
+  };
   // Job ids: [0, UT) topologies, [UT, UT+UP) plans, then sweeps, then power.
   for (int i = 0; i < UT; ++i)
-    jobs[static_cast<std::size_t>(i)].fn = [this, i] {
-      run_topology_job(utopos_[static_cast<std::size_t>(i)]);
+    jobs[static_cast<std::size_t>(i)].fn = [this, i, &timed] {
+      timed("study/topology", i, [&] {
+        run_topology_job(utopos_[static_cast<std::size_t>(i)]);
+      });
     };
   for (int i = 0; i < UP; ++i) {
     auto& j = jobs[static_cast<std::size_t>(UT + i)];
-    j.fn = [this, i] { run_plan_job(uplans_[static_cast<std::size_t>(i)]); };
+    j.fn = [this, i, &timed] {
+      timed("study/plan", i,
+            [&] { run_plan_job(uplans_[static_cast<std::size_t>(i)]); });
+    };
     j.pending = 1;
     jobs[static_cast<std::size_t>(uplans_[static_cast<std::size_t>(i)].topology)]
         .dependents.push_back(UT + i);
   }
   for (int i = 0; i < US; ++i) {
     auto& j = jobs[static_cast<std::size_t>(UT + UP + i)];
-    j.fn = [this, i] { run_sweep_job(usweeps_[static_cast<std::size_t>(i)]); };
+    j.fn = [this, i, &timed] {
+      timed("study/sweep", i,
+            [&] { run_sweep_job(usweeps_[static_cast<std::size_t>(i)]); });
+    };
     j.pending = 1;
     jobs[static_cast<std::size_t>(
              UT + usweeps_[static_cast<std::size_t>(i)].plan)]
@@ -404,11 +430,13 @@ void Study::run_jobs() {
   if (spec_.power.enabled) {
     for (int i = 0; i < UT; ++i) {
       auto& j = jobs[static_cast<std::size_t>(UT + UP + US + i)];
-      j.fn = [this, i] {
-        const auto& t = utopos_[static_cast<std::size_t>(i)];
-        upower_[static_cast<std::size_t>(i)] = power::estimate(
-            t.topo.graph, t.topo.layout, topo::clock_ghz(t.topo.link_class),
-            spec_.power.flits_per_node_cycle, spec_.num_vcs);
+      j.fn = [this, i, &timed] {
+        timed("study/power", i, [&] {
+          const auto& t = utopos_[static_cast<std::size_t>(i)];
+          upower_[static_cast<std::size_t>(i)] = power::estimate(
+              t.topo.graph, t.topo.layout, topo::clock_ghz(t.topo.link_class),
+              spec_.power.flits_per_node_cycle, spec_.num_vcs);
+        });
       };
       j.pending = 1;
       jobs[static_cast<std::size_t>(i)].dependents.push_back(UT + UP + US + i);
@@ -422,6 +450,7 @@ void Study::run_jobs() {
   }
   width = std::min<int>(width, std::max(1, stats_.jobs_total));
 
+  obs::WallTimer wall;
   try {
     run_dag(jobs, width);
   } catch (...) {
@@ -429,6 +458,25 @@ void Study::run_jobs() {
     throw;
   }
   stats_.syntheses_run = synth_count_.load();
+
+  if (obs::metrics_enabled()) {
+    obs::counter("study.jobs_run")
+        .add(static_cast<std::uint64_t>(stats_.jobs_total));
+    obs::counter("study.topology_cache_hits")
+        .add(static_cast<std::uint64_t>(stats_.topology_cache_hits));
+    obs::counter("study.plan_cache_hits")
+        .add(static_cast<std::uint64_t>(stats_.plan_cache_hits));
+    obs::counter("study.syntheses_run")
+        .add(static_cast<std::uint64_t>(stats_.syntheses_run));
+    const double wall_s = wall.seconds();
+    const double busy_s =
+        static_cast<double>(busy_us.load(std::memory_order_relaxed)) * 1e-6;
+    obs::gauge("study.pool_width").set(width);
+    obs::gauge("study.pool_busy_s").set(busy_s);
+    obs::gauge("study.pool_wall_s").set(wall_s);
+    if (wall_s > 0.0)
+      obs::gauge("study.pool_utilization").set(busy_s / (wall_s * width));
+  }
 }
 
 // --------------------------------------------------------------- assembly --
@@ -540,12 +588,18 @@ Report Study::assemble() const {
       rep.power.push_back(row);
     }
   }
+
+  if (obs::metrics_enabled())
+    rep.metrics = obs::metrics_to_json(obs::snapshot_metrics());
   return rep;
 }
 
 Report Study::run() {
   if (ran_) throw std::logic_error("study: run() already called");
   ran_ = true;
+  obs::Span span("study/run");
+  span.arg("name", spec_.name);
+  span.arg("jobs", stats_.jobs_total);
   run_jobs();
   return assemble();
 }

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/bounds.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/compiled.hpp"
 #include "routing/mclb.hpp"
 #include "routing/paths.hpp"
@@ -273,6 +275,9 @@ class RestartRun {
   RestartOutcome run() {
     util::WallTimer timer;
     RestartOutcome out;
+    obs::Span span("anneal/restart");
+    span.arg("restart", restart_);
+    span.arg("n", n_);
 
     topo::DiGraph g =
         cfg_.symmetric_links
@@ -333,6 +338,21 @@ class RestartRun {
       }
     }
     out.duration_s = timer.seconds();
+    span.arg("moves", out.moves);
+    span.arg("accepted", out.accepted);
+    span.arg("incumbents", incumbent_updates_);
+    // Per-restart flush: the hot loop above touches no shared state; the
+    // registry sees a handful of adds per restart.
+    if (obs::metrics_enabled()) {
+      obs::counter("anneal.restarts").inc();
+      obs::counter("anneal.moves").add(static_cast<std::uint64_t>(out.moves));
+      obs::counter("anneal.accepted")
+          .add(static_cast<std::uint64_t>(out.accepted));
+      obs::counter("anneal.incumbent_updates")
+          .add(static_cast<std::uint64_t>(incumbent_updates_));
+      obs::counter("anneal.incumbent_fast_rejects")
+          .add(static_cast<std::uint64_t>(fast_rejects_));
+    }
     return out;
   }
 
@@ -411,6 +431,31 @@ class RestartRun {
         .max_load;
   }
 
+  // True when the accepted move's already-computed scores prove it cannot
+  // beat this restart's incumbent (the fast path the expensive incumbent
+  // verification never runs for).
+  bool cheap_reject(const topo::DiGraph& g, const RestartOutcome& out,
+                    double avg) const {
+    switch (cfg_.objective) {
+      case Objective::kLatOp:
+        return avg >= out.primary;
+      case Objective::kPattern:
+        return last_weighted_ >= out.primary;
+      case Objective::kSCOp: {
+        // Only pay for an exact cut when the surrogate looks competitive.
+        const double surrogate = cuts_.cached_bandwidth(g);
+        return surrogate < out.primary ||
+               (surrogate == out.primary && avg >= out.secondary);
+      }
+      case Objective::kChannelLoad:
+        return last_load_ > out.primary ||
+               (last_load_ == out.primary && avg >= out.secondary);
+      case Objective::kLatLoad:
+        return avg + cfg_.load_weight * last_load_ >= out.primary;
+    }
+    return false;
+  }
+
   void maybe_update_incumbent(const topo::DiGraph& g, RestartOutcome& out,
                               const util::WallTimer& timer, double* score) {
     // last_hops_ is the APSP result of the accepted move's search_score:
@@ -421,31 +466,9 @@ class RestartRun {
 
     // Cheap reject: skip the diameter APSP and exact-cut work whenever the
     // accepted score cannot beat this restart's incumbent.
-    if (out.have) {
-      switch (cfg_.objective) {
-        case Objective::kLatOp:
-          if (avg >= out.primary) return;
-          break;
-        case Objective::kPattern:
-          if (last_weighted_ >= out.primary) return;
-          break;
-        case Objective::kSCOp: {
-          // Only pay for an exact cut when the surrogate looks competitive.
-          const double surrogate = cuts_.cached_bandwidth(g);
-          if (surrogate < out.primary ||
-              (surrogate == out.primary && avg >= out.secondary))
-            return;
-          break;
-        }
-        case Objective::kChannelLoad:
-          if (last_load_ > out.primary ||
-              (last_load_ == out.primary && avg >= out.secondary))
-            return;
-          break;
-        case Objective::kLatLoad:
-          if (avg + cfg_.load_weight * last_load_ >= out.primary) return;
-          break;
-      }
+    if (out.have && cheap_reject(g, out, avg)) {
+      ++fast_rejects_;
+      return;
     }
 
     if (cfg_.diameter_bound > 0 && topo::diameter(g) > cfg_.diameter_bound)
@@ -495,6 +518,10 @@ class RestartRun {
       out.primary = primary;
       out.secondary = secondary;
       out.graph = g;
+      ++incumbent_updates_;
+      // Objective-trajectory sample: one counter track per run in the trace
+      // viewer (Fig. 5's incumbent curve, live).
+      obs::trace_counter("anneal/incumbent", primary);
       if (static_cast<int>(out.trace.size()) < ctx_.opts.max_trace_points)
         out.trace.push_back({timer.seconds(), primary, secondary});
     }
@@ -594,6 +621,8 @@ class RestartRun {
   double last_hops_ = 0.0;
   double last_weighted_ = 0.0;
   double last_load_ = 0.0;
+  long incumbent_updates_ = 0;  // accepted incumbents (obs flush per restart)
+  long fast_rejects_ = 0;       // cheap-reject gate hits
   Delta delta_;
 };
 
@@ -611,6 +640,11 @@ SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
   const SearchContext ctx(cfg, opts);
   const int restarts = std::max(1, cfg.restarts);
   const int threads = resolve_threads(opts.threads, restarts);
+
+  obs::Span span("anneal/synthesize");
+  span.arg("n", ctx.n);
+  span.arg("restarts", restarts);
+  span.arg("threads", threads);
 
   std::vector<RestartOutcome> outcomes(restarts);
   if (threads <= 1) {

@@ -1,0 +1,29 @@
+#pragma once
+// Timing primitives shared by the observability layer and every bench /
+// solver-trace harness. One steady-clock timebase for the whole process:
+// WallTimer measures intervals, now_us() stamps trace events against a
+// process-wide origin so spans from different threads land on one timeline.
+
+#include <chrono>
+
+namespace netsmith::obs {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Microseconds since the first call in this process (steady clock). Chrome
+// trace_event timestamps are microseconds; a process-relative origin keeps
+// them small and diff-friendly.
+double now_us();
+
+}  // namespace netsmith::obs

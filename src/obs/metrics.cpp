@@ -1,0 +1,217 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace netsmith::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+int shard_index() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int idx = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards);
+  return idx;
+}
+
+}  // namespace detail
+
+// -------------------------------------------------------------- counters ---
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : slots_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- gauges ---
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+double Gauge::decode(std::uint64_t bits) {
+  return bits == 0 ? 0.0 : std::bit_cast<double>(bits);
+}
+
+void Gauge::add(double v) {
+  if (!metrics_enabled()) return;
+  std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(cur, encode(decode(cur) + v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::value() const {
+  return decode(bits_.load(std::memory_order_relaxed));
+}
+
+// ------------------------------------------------------------ histograms ---
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  cells_ = std::vector<detail::CounterSlot>(
+      static_cast<std::size_t>(kMetricShards) * (bounds_.size() + 1));
+}
+
+int Histogram::bucket_of(double v) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<int>(it - bounds_.begin());  // == size() -> overflow
+}
+
+void Histogram::record_n(double v, std::uint64_t n) {
+  if (!metrics_enabled() || n == 0) return;
+  const int s = detail::shard_index();
+  const std::size_t buckets = bounds_.size() + 1;
+  cells_[s * buckets + bucket_of(v)].v.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  counts_total_[s].v.fetch_add(n, std::memory_order_relaxed);
+  sum_.add(v * static_cast<double>(n));
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  const std::size_t buckets = bounds_.size() + 1;
+  std::vector<std::uint64_t> out(buckets, 0);
+  for (int s = 0; s < kMetricShards; ++s)
+    for (std::size_t b = 0; b < buckets; ++b)
+      out[b] += cells_[s * buckets + b].v.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : counts_total_)
+    total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const { return sum_.value(); }
+
+void Histogram::reset() {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  for (auto& c : counts_total_) c.v.store(0, std::memory_order_relaxed);
+  sum_.reset();
+}
+
+// -------------------------------------------------------------- registry ---
+
+namespace {
+
+// One mutex-guarded map per metric kind; values are heap entries so handles
+// stay stable across rehashes. Registration is cold (callers cache handles).
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+// --------------------------------------------------------------- snapshot ---
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : r.counters)
+    snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : r.gauges)
+    snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts = h->counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+util::JsonValue metrics_to_json(const MetricsSnapshot& snap) {
+  using util::JsonValue;
+  JsonValue o = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, v] : snap.counters)
+    counters.set(name, JsonValue::integer(static_cast<long long>(v)));
+  o.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, v] : snap.gauges)
+    gauges.set(name, JsonValue::number(v));
+  o.set("gauges", std::move(gauges));
+  JsonValue hists = JsonValue::object();
+  for (const auto& h : snap.histograms) {
+    JsonValue ho = JsonValue::object();
+    JsonValue bounds = JsonValue::array();
+    for (double b : h.bounds) bounds.push_back(JsonValue::number(b));
+    ho.set("bounds", std::move(bounds));
+    JsonValue counts = JsonValue::array();
+    for (std::uint64_t c : h.counts)
+      counts.push_back(JsonValue::integer(static_cast<long long>(c)));
+    ho.set("counts", std::move(counts));
+    ho.set("count", JsonValue::integer(static_cast<long long>(h.count)));
+    ho.set("sum", JsonValue::number(h.sum));
+    hists.set(h.name, std::move(ho));
+  }
+  o.set("histograms", std::move(hists));
+  return o;
+}
+
+}  // namespace netsmith::obs

@@ -1,0 +1,152 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms, designed so instrumentation can live inside the synthesis /
+// routing / simulation hot paths without measurably slowing them.
+//
+// Overhead contract (see DESIGN.md "Observability"):
+//  - Disabled (the default), every record call is one relaxed atomic load
+//    and a predictable branch. Nothing else runs.
+//  - Enabled, counter increments go to one of kMetricShards cache-line-
+//    padded slots chosen per thread, so concurrent writers do not bounce a
+//    shared line. Hot loops are still expected to accumulate locally and
+//    flush once per unit of work (per restart, per search, per sim run) —
+//    the registry makes flushes cheap, it does not make per-cycle atomics
+//    free.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// process lifetime; callers cache them (typically in a function-local
+// static). snapshot() aggregates across shards into name-ordered vectors,
+// so serializing a snapshot is deterministic given the same recorded
+// values. reset_metrics() zeroes values but keeps registrations — tests and
+// repeated in-process runs use it to scope measurements.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace netsmith::obs {
+
+// --------------------------------------------------------------- gating ---
+
+// One process-wide atomic flag; relaxed loads on the hot path.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+inline constexpr int kMetricShards = 16;
+
+namespace detail {
+struct alignas(64) CounterSlot {
+  std::atomic<std::uint64_t> v{0};
+};
+// Per-thread shard index (round-robin assignment on first use).
+int shard_index();
+}  // namespace detail
+
+// -------------------------------------------------------------- counters ---
+
+// Monotonic counter. add() is wait-free: one relaxed fetch_add on a
+// per-thread-sharded slot.
+class Counter {
+ public:
+  void add(std::uint64_t v) {
+    if (!metrics_enabled()) return;
+    slots_[detail::shard_index()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::uint64_t value() const;
+  void reset();
+
+ private:
+  detail::CounterSlot slots_[kMetricShards];
+};
+
+// ---------------------------------------------------------------- gauges ---
+
+// Last-written value (set) or accumulated value (add); doubles.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    bits_.store(encode(v), std::memory_order_relaxed);
+  }
+  void add(double v);
+  double value() const;
+  void reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};  // bit-cast double; 0 encodes 0.0
+};
+
+// ------------------------------------------------------------ histograms ---
+
+// Fixed-bucket histogram: bounds are inclusive upper edges in ascending
+// order; values above the last bound land in an overflow bucket. Bucket
+// counts are sharded like Counter slots; sum/count ride along for means.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v) { record_n(v, 1); }
+  // Bulk insert: `n` observations of value `v` in one shot. Hot loops build
+  // a local histogram and flush it through this once per run.
+  void record_n(double v, std::uint64_t n);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Aggregated counts, one per bound plus the overflow bucket.
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+  void reset();
+
+ private:
+  int bucket_of(double v) const;
+
+  std::vector<double> bounds_;
+  // shard-major layout: shard s, bucket b at [s * num_buckets + b].
+  std::vector<detail::CounterSlot> cells_;
+  detail::CounterSlot counts_total_[kMetricShards];
+  Gauge sum_;
+};
+
+// -------------------------------------------------------------- registry ---
+
+// Named lookup; registers on first use, returns the existing entry after.
+// A histogram's bounds are fixed by its first registration.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+// --------------------------------------------------------------- snapshot ---
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+// Name-ordered aggregation of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+MetricsSnapshot snapshot_metrics();
+
+// Zeroes every registered metric's value; registrations (and histogram
+// bounds) survive.
+void reset_metrics();
+
+// {"counters": {...}, "gauges": {...}, "histograms": {name: {bounds,
+// counts, count, sum}}} — ordered keys, suitable for the Report `metrics`
+// block.
+util::JsonValue metrics_to_json(const MetricsSnapshot& snap);
+
+}  // namespace netsmith::obs

@@ -1,0 +1,182 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/clock.hpp"
+#include "util/json.hpp"
+
+namespace netsmith::obs {
+
+double now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - origin)
+      .count();
+}
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct ThreadBuf {
+  int tid = 0;
+  // The owning thread appends; the dump path reads from any thread. Both
+  // take this mutex — appends are uncontended except while dumping.
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards bufs registration
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::atomic<int> next_tid{0};
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives teardown
+  return *s;
+}
+
+ThreadBuf& thread_buf() {
+  thread_local ThreadBuf* buf = [] {
+    TraceState& s = state();
+    auto owned = std::make_unique<ThreadBuf>();
+    owned->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+    ThreadBuf* raw = owned.get();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.bufs.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+void append(TraceEvent ev) {
+  ThreadBuf& buf = thread_buf();
+  ev.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!trace_enabled()) return;
+  live_ = true;
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!live_) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.ph = 'X';
+  ev.ts_us = start_us_;
+  ev.dur_us = now_us() - start_us_;
+  ev.num_args = std::move(num_args_);
+  ev.str_args = std::move(str_args_);
+  append(std::move(ev));
+}
+
+void Span::arg(const char* key, double v) {
+  if (live_) num_args_.emplace_back(key, v);
+}
+
+void Span::arg(const char* key, const std::string& v) {
+  if (live_) str_args_.emplace_back(key, v);
+}
+
+void trace_counter(const char* name, double value) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.ph = 'C';
+  ev.ts_us = now_us();
+  ev.value = value;
+  append(std::move(ev));
+}
+
+void trace_instant(const char* name) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.ph = 'i';
+  ev.ts_us = now_us();
+  append(std::move(ev));
+}
+
+std::vector<TraceEvent> collect_trace_events() {
+  TraceState& s = state();
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& buf : s.bufs) {
+      std::lock_guard<std::mutex> bl(buf->mu);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.ts_us, a.tid, a.name) <
+                     std::tie(b.ts_us, b.tid, b.name);
+            });
+  return all;
+}
+
+std::string trace_to_json() {
+  using util::JsonValue;
+  JsonValue events = JsonValue::array();
+  for (const auto& ev : collect_trace_events()) {
+    JsonValue o = JsonValue::object();
+    o.set("name", JsonValue::string(ev.name));
+    o.set("ph", JsonValue::string(std::string(1, ev.ph)));
+    o.set("pid", JsonValue::integer(1));
+    o.set("tid", JsonValue::integer(ev.tid));
+    o.set("ts", JsonValue::number(ev.ts_us));
+    if (ev.ph == 'X') o.set("dur", JsonValue::number(ev.dur_us));
+    if (ev.ph == 'i') o.set("s", JsonValue::string("t"));
+    JsonValue args = JsonValue::object();
+    if (ev.ph == 'C') args.set("value", JsonValue::number(ev.value));
+    for (const auto& [k, v] : ev.num_args) args.set(k, JsonValue::number(v));
+    for (const auto& [k, v] : ev.str_args) args.set(k, JsonValue::string(v));
+    if (ev.ph == 'C' || !ev.num_args.empty() || !ev.str_args.empty())
+      o.set("args", std::move(args));
+    events.push_back(std::move(o));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", JsonValue::string("ms"));
+  return doc.dump();
+}
+
+void write_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << trace_to_json();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void reset_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& buf : s.bufs) {
+    std::lock_guard<std::mutex> bl(buf->mu);
+    buf->events.clear();
+  }
+}
+
+}  // namespace netsmith::obs

@@ -1,0 +1,88 @@
+#pragma once
+// Scoped trace-span recorder emitting Chrome trace_event JSON.
+//
+// Usage:
+//   obs::Span span("anneal/restart");
+//   span.arg("restart", r);
+//   ... work ...
+//   // destructor records a complete ("ph":"X") event with begin ts + dur
+//
+//   obs::trace_counter("anneal/incumbent", primary);   // "ph":"C" sample
+//
+// Runtime-gated like the metrics registry: when tracing is disabled (the
+// default) Span's constructor is one relaxed atomic load and every other
+// member is a no-op — no clock read, no allocation. Enabled, events append
+// to per-thread buffers (one uncontended mutex each, locked only against
+// the dump path), so worker threads never serialize on a shared log.
+//
+// Timestamps are microseconds from the process-wide steady-clock origin
+// (obs::now_us); thread ids are small sequential integers assigned on first
+// use, so a written trace loads in chrome://tracing / Perfetto with one
+// track per worker.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace netsmith::obs {
+
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+struct TraceEvent {
+  std::string name;
+  char ph = 'X';  // 'X' complete span, 'C' counter sample, 'i' instant
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // 'X' only
+  double value = 0.0;   // 'C' only
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach args (shown in the trace viewer's detail pane). No-ops when the
+  // span was constructed with tracing disabled.
+  void arg(const char* key, double v);
+  void arg(const char* key, long long v) { arg(key, static_cast<double>(v)); }
+  void arg(const char* key, long v) { arg(key, static_cast<double>(v)); }
+  void arg(const char* key, int v) { arg(key, static_cast<double>(v)); }
+  void arg(const char* key, const std::string& v);
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  bool live_ = false;
+  std::vector<std::pair<std::string, double>> num_args_;
+  std::vector<std::pair<std::string, std::string>> str_args_;
+};
+
+// One counter sample ("ph":"C"): the viewer renders these as a stepped
+// value track — e.g. the annealer's objective trajectory.
+void trace_counter(const char* name, double value);
+
+// Zero-duration instant event.
+void trace_instant(const char* name);
+
+// Merged copy of every recorded event, sorted by (ts, tid, name) so output
+// is deterministic given the same events. Intended for end-of-run dumping
+// and tests; spans still open are not included.
+std::vector<TraceEvent> collect_trace_events();
+
+// Chrome trace_event JSON document: {"traceEvents": [...], ...}.
+std::string trace_to_json();
+
+// Writes trace_to_json() to `path`; throws std::runtime_error on I/O error.
+void write_trace(const std::string& path);
+
+// Drops all recorded events (buffers stay registered).
+void reset_trace();
+
+}  // namespace netsmith::obs

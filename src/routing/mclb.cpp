@@ -7,6 +7,9 @@
 #include <numeric>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace netsmith::routing {
 
 LoadObjective LoadObjective::of(const std::vector<double>& loads) {
@@ -116,6 +119,10 @@ class FlatEvaluator {
 
   double load(int e) const { return loads_[e]; }
 
+  // Times the dense level histogram had to grow (unit mode only) — a proxy
+  // for how often the incremental engine re-shapes its load index.
+  long hist_grows() const { return hist_grows_; }
+
   const LoadObjective& current() const { return obj_; }
 
   LoadObjective eval_add(int p, double w) {
@@ -170,7 +177,10 @@ class FlatEvaluator {
       const int nl = w > 0.0 ? ol + 1 : ol - 1;
       level_[e] = nl;
       --hist_[ol];
-      if (nl >= static_cast<int>(hist_.size())) hist_.resize(nl + 1, 0);
+      if (nl >= static_cast<int>(hist_.size())) {
+        hist_.resize(nl + 1, 0);
+        ++hist_grows_;
+      }
       ++hist_[nl];
       if (nl > max_level_) {
         max_level_ = nl;
@@ -196,6 +206,7 @@ class FlatEvaluator {
   std::vector<int> level_;  // unit mode: flows on edge (== load exactly)
   std::vector<int> hist_;
   int max_level_ = 0;
+  long hist_grows_ = 0;
   std::map<double, int, std::greater<double>> buckets_;  // general mode
 };
 
@@ -237,12 +248,14 @@ MclbResult run_local_search(const CompiledPathSet& cps,
     return a < b;
   });
 
+  long greedy_evals = 0;
   for (int f : order) {
     const int pb = cps.path_begin[f], pe = cps.path_begin[f + 1];
     int best_k = 0;
     LoadObjective best;
     bool first = true;
     for (int p = pb; p < pe; ++p) {
+      ++greedy_evals;
       const auto obj = ev.eval_add(p, w[f]);
       if (first || obj.better_than(best, eps)) {
         best = obj;
@@ -257,7 +270,9 @@ MclbResult run_local_search(const CompiledPathSet& cps,
   // Improvement: reroute flows crossing maximally loaded channels; accept
   // only lexicographic improvements of the load profile, so it terminates.
   long iters = 0;
+  int rounds_run = 0;
   for (int round = 0; round < max_rounds; ++round) {
+    ++rounds_run;
     bool improved = false;
     LoadObjective cur = ev.current();
     for (int f = 0; f < f_count; ++f) {
@@ -302,6 +317,18 @@ MclbResult run_local_search(const CompiledPathSet& cps,
   result.max_flows_on_link = static_cast<int>(std::lround(result.objective.max));
   result.max_load = result.objective.max / (n - 1);
   result.iterations = iters;
+  // One flush per search: the annealer runs this on every candidate move, so
+  // the hot loops above must stay free of shared-state traffic, and the
+  // handle lookups are cached (a name lookup per search would already cost
+  // percents at ~10k searches/s).
+  if (obs::metrics_enabled()) {
+    static obs::Counter& searches = obs::counter("mclb.searches");
+    static obs::Counter& rounds = obs::counter("mclb.rounds");
+    static obs::Counter& evals = obs::counter("mclb.candidate_evals");
+    searches.inc();
+    rounds.add(static_cast<std::uint64_t>(rounds_run));
+    evals.add(static_cast<std::uint64_t>(greedy_evals + iters));
+  }
   return result;
 }
 
@@ -352,14 +379,26 @@ MclbResult mclb_local_search(const CompiledPathSet& cps,
                              int max_rounds) {
   auto [w, wmax] = flow_weights(cps, flow_weight);
   FlatEvaluator ev(cps, all_unit(w));
-  return run_local_search(cps, w, LoadObjective::tolerance(wmax), max_rounds,
-                          ev);
+  MclbResult r = run_local_search(cps, w, LoadObjective::tolerance(wmax),
+                                  max_rounds, ev);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& rebuilds = obs::counter("mclb.hist_rebuilds");
+    rebuilds.add(static_cast<std::uint64_t>(ev.hist_grows()));
+  }
+  return r;
 }
 
 MclbResult mclb_local_search(const PathSet& ps,
                              const std::vector<double>& flow_weight,
                              int max_rounds) {
-  return mclb_local_search(compile_paths(ps), flow_weight, max_rounds);
+  // Plan-level entry point (one call per routed topology, not per annealer
+  // move), so a span per call is cheap.
+  obs::Span span("routing/mclb_local_search");
+  MclbResult r = mclb_local_search(compile_paths(ps), flow_weight, max_rounds);
+  span.arg("n", ps.num_nodes());
+  span.arg("iterations", r.iterations);
+  span.arg("max_load", r.max_load);
+  return r;
 }
 
 MclbResult mclb_local_search_scan(const CompiledPathSet& cps,
@@ -374,7 +413,12 @@ MclbResult mclb_local_search_scan(const CompiledPathSet& cps,
 MclbResult mclb_local_search_scan(const PathSet& ps,
                                   const std::vector<double>& flow_weight,
                                   int max_rounds) {
-  return mclb_local_search_scan(compile_paths(ps), flow_weight, max_rounds);
+  obs::Span span("routing/mclb_local_search_scan");
+  MclbResult r =
+      mclb_local_search_scan(compile_paths(ps), flow_weight, max_rounds);
+  span.arg("n", ps.num_nodes());
+  span.arg("iterations", r.iterations);
+  return r;
 }
 
 MclbResult mclb_exact(const PathSet& ps, const lp::MilpOptions& opts,

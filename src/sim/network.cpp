@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/objective.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/router.hpp"
 #include "util/rng.hpp"
 
@@ -54,6 +56,13 @@ class Simulator {
     const long horizon = cfg_.warmup + cfg_.measure + cfg_.drain;
     const long window_end = cfg_.warmup + cfg_.measure;
 
+    obs::Span span("sim/run");
+    span.arg("n", n_);
+    span.arg("rate", traffic_.injection_rate);
+    // Sampled once per run: the per-cycle loop below must not re-read the
+    // global gate.
+    metrics_on_ = obs::metrics_enabled();
+
     stats_.cycles_run = horizon;
     for (long cycle = 0; cycle < horizon; ++cycle) {
       deliver_arrivals(cycle);
@@ -85,6 +94,10 @@ class Simulator {
             : 1.0;
     stats_.saturated = stats_.mean_source_backlog > 4.0 || drained < 0.95;
     record_residuals();
+    span.arg("cycles", stats_.cycles_run);
+    span.arg("accepted", stats_.accepted);
+    span.arg("avg_latency", stats_.avg_latency_cycles);
+    if (metrics_on_) flush_metrics();
     return stats_;
   }
 
@@ -289,6 +302,7 @@ class Simulator {
     while (!arrival_heap_.empty() && arrival_heap_.top().first <= cycle) {
       const int id = arrival_heap_.top().second;
       arrival_heap_.pop();
+      ++stats_.arrival_heap_pops;
       Channel& ch = channels_[id];
       while (!ch.wire_empty() && ch.wire_front().arrive <= cycle) {
         const InFlight& f = ch.wire_front();
@@ -310,9 +324,52 @@ class Simulator {
     for (int eid : out_edges_[u]) arbitrate_output(u, eid, cycle);
   }
 
-  // Reference mode: visit every router every cycle, ascending.
+  // Per-cycle activity accounting. The SimStats sum is always maintained
+  // (the equivalence tests compare it across modes); the power-of-two
+  // occupancy histogram accumulates locally and flushes once per run.
+  void count_occupancy(long active) {
+    stats_.active_router_cycles += active;
+    if (!metrics_on_) return;
+    int b = 0;
+    while (b < kOccBuckets - 1 && active > kOccBounds[b]) ++b;
+    ++occ_counts_[b];
+  }
+
+  void flush_metrics() {
+    obs::counter("sim.runs").inc();
+    obs::counter("sim.cycles")
+        .add(static_cast<std::uint64_t>(stats_.cycles_run));
+    obs::counter("sim.flits_injected")
+        .add(static_cast<std::uint64_t>(flits_injected_));
+    obs::counter("sim.flits_ejected")
+        .add(static_cast<std::uint64_t>(flits_ejected_));
+    obs::counter("sim.arrival_heap_pops")
+        .add(static_cast<std::uint64_t>(stats_.arrival_heap_pops));
+    obs::counter("sim.active_router_cycles")
+        .add(static_cast<std::uint64_t>(stats_.active_router_cycles));
+    auto& h = obs::histogram(
+        "sim.active_routers",
+        std::vector<double>(kOccBounds, kOccBounds + kOccBuckets - 1));
+    for (int b = 0; b < kOccBuckets; ++b) {
+      // bounds are inclusive upper edges, so bound b lands in bucket b; the
+      // overflow bucket takes anything past the last bound.
+      const double rep =
+          b < kOccBuckets - 1 ? kOccBounds[b] : kOccBounds[kOccBuckets - 2] + 1;
+      h.record_n(rep, static_cast<std::uint64_t>(occ_counts_[b]));
+    }
+  }
+
+  // Reference mode: visit every router every cycle, ascending. The occupancy
+  // pre-scan applies the retire predicate directly; in optimized mode the
+  // same number falls out of the active bitmap (activations always accompany
+  // new work and retirement only happens on drain, so at the start of the
+  // switch phase the active set IS the predicate-true set).
   void switch_all(long cycle) {
     current_cycle_ = cycle;
+    long active = 0;
+    for (int u = 0; u < n_; ++u)
+      if (in_buffered_[u] > 0 || !sources_[u].packets.empty()) ++active;
+    count_occupancy(active);
     for (int u = 0; u < n_; ++u) switch_router(u, cycle);
   }
 
@@ -324,6 +381,9 @@ class Simulator {
   // anything blocked on credits or bandwidth stays in.
   void switch_active(long cycle) {
     current_cycle_ = cycle;
+    long active = 0;
+    for (std::uint64_t w : active_words_) active += std::popcount(w);
+    count_occupancy(active);
     for (std::size_t w = 0; w < active_words_.size(); ++w) {
       std::uint64_t done = 0;
       while (std::uint64_t pending = active_words_[w] & ~done) {
@@ -582,6 +642,14 @@ class Simulator {
   // across the router's input VCs (maintained by deliver/pop).
   std::vector<std::uint64_t> active_words_;
   std::vector<int> in_buffered_;
+  // Observability: gate sampled once per run; per-cycle active-router counts
+  // binned into power-of-two buckets, flushed to the registry at run end.
+  static constexpr double kOccBounds[] = {0,  1,  2,   4,   8,   16,
+                                          32, 64, 128, 256, 512, 1024};
+  static constexpr int kOccBuckets =
+      static_cast<int>(sizeof(kOccBounds) / sizeof(kOccBounds[0])) + 1;
+  bool metrics_on_ = false;
+  long occ_counts_[kOccBuckets] = {};
   // Per-router (input k, vc) slot occupancy for mask-driven arbitration;
   // usable while the slot space fits one word (mask_ok_).
   std::vector<std::uint64_t> buf_mask_;

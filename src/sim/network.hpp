@@ -61,6 +61,13 @@ struct SimStats {
   long source_flits_end = 0;    // unsent flits queued in source NIs at exit
   bool credits_consistent = true;  // credits mirror free buffer slots at exit
   bool owners_clear = true;        // no VC held by a packet at exit
+  // Activity accounting, identical in reference and optimized modes (the
+  // equivalence tests assert this): sum over cycles of the number of routers
+  // with work pending at the start of the switch phase (buffered input flit
+  // or queued source packet), and total arrival-event pops off the
+  // per-channel wire heap.
+  long active_router_cycles = 0;
+  long arrival_heap_pops = 0;
 };
 
 // Runs one simulation at a fixed injection rate. The plan's VC map must use

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 #if defined(_OPENMP)
 #include <omp.h>
 #endif
@@ -35,6 +37,10 @@ SweepResult injection_sweep(const core::NetworkPlan& plan,
   SweepResult result;
   if (rates.empty()) return result;
   result.points.resize(rates.size());
+
+  obs::Span span("sim/sweep");
+  span.arg("points", static_cast<int>(rates.size()));
+  span.arg("max_rate", rates.back());
 
   // Job 0 is the zero-load reference run; job i >= 1 is rate point i - 1.
   // Jobs run in ascending-rate waves sized to the thread team: each wave is

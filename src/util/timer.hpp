@@ -1,21 +1,13 @@
 #pragma once
-// Wall-clock timer for solver traces and bench harnesses.
+// Back-compat alias: the wall-clock timer moved into the observability
+// layer (obs/clock.hpp) so benches, solver traces and the trace-span
+// recorder share one steady-clock timebase. Include obs/clock.hpp in new
+// code; this header remains for the existing util::WallTimer spelling.
 
-#include <chrono>
+#include "obs/clock.hpp"
 
 namespace netsmith::util {
 
-class WallTimer {
- public:
-  WallTimer() : start_(clock::now()) {}
-  void reset() { start_ = clock::now(); }
-  double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
-  }
-
- private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
+using WallTimer = obs::WallTimer;
 
 }  // namespace netsmith::util

@@ -1,0 +1,185 @@
+// Observability layer: sharded metrics registry and trace-span recorder.
+// The contracts under test: concurrent counter sums are exact, snapshots are
+// name-ordered (deterministic serialization), histogram bucket edges are
+// inclusive, everything is a no-op while disabled, and recorded spans come
+// back as well-formed Chrome trace_event JSON.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace netsmith::obs {
+namespace {
+
+// Every test runs with a clean slate and leaves the gates off (other test
+// suites in this binary assume observability is disabled).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    set_trace_enabled(true);
+    reset_metrics();
+    reset_trace();
+  }
+  void TearDown() override {
+    reset_metrics();
+    reset_trace();
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+  }
+};
+
+TEST_F(ObsTest, ConcurrentCounterSumsAreExact) {
+  Counter& c = counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, ConcurrentHistogramCountsAreExact) {
+  Histogram& h = histogram("test.hist_concurrent", {1.0, 2.0, 3.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&h, t] {
+      // t + 0.5 targets bucket t (bounds are inclusive upper edges; 3.5
+      // overflows), so each thread fills exactly one bucket.
+      for (int i = 0; i < kPerThread; ++i) h.record(t + 0.5);
+    });
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (std::uint64_t b : h.counts()) EXPECT_EQ(b, kPerThread);
+}
+
+TEST_F(ObsTest, SnapshotIsNameOrdered) {
+  counter("test.b").add(2);
+  counter("test.a").add(1);
+  counter("test.c").add(3);
+  gauge("test.g2").set(2.0);
+  gauge("test.g1").set(1.0);
+
+  const MetricsSnapshot snap = snapshot_metrics();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i)
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  for (std::size_t i = 1; i < snap.gauges.size(); ++i)
+    EXPECT_LT(snap.gauges[i - 1].first, snap.gauges[i].first);
+
+  // Two snapshots of the same state serialize identically.
+  const std::string j1 = metrics_to_json(snap).dump();
+  const std::string j2 = metrics_to_json(snapshot_metrics()).dump();
+  EXPECT_EQ(j1, j2);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreInclusiveUpperEdges) {
+  Histogram& h = histogram("test.buckets", {0.0, 1.0, 4.0});
+  h.record(-1.0);  // <= 0       -> bucket 0
+  h.record(0.0);   // == 0       -> bucket 0 (inclusive edge)
+  h.record(0.5);   // (0, 1]     -> bucket 1
+  h.record(1.0);   // == 1       -> bucket 1 (inclusive edge)
+  h.record(2.0);   // (1, 4]     -> bucket 2
+  h.record(4.0);   // == 4       -> bucket 2 (inclusive edge)
+  h.record(4.5);   // > last     -> overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), -1.0 + 0.0 + 0.5 + 1.0 + 2.0 + 4.0 + 4.5);
+
+  // record_n lands n observations in one bucket.
+  h.record_n(2.0, 10);
+  EXPECT_EQ(h.counts()[2], 12u);
+  EXPECT_EQ(h.count(), 17u);
+}
+
+TEST_F(ObsTest, DisabledMetricsRecordNothing) {
+  Counter& c = counter("test.disabled");
+  Gauge& g = gauge("test.disabled_gauge");
+  Histogram& h = histogram("test.disabled_hist", {1.0});
+  set_metrics_enabled(false);
+  c.add(5);
+  g.set(3.0);
+  g.add(2.0);
+  h.record(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTest, ResetZeroesValuesButKeepsRegistrations) {
+  counter("test.reset").add(7);
+  gauge("test.reset_gauge").set(1.5);
+  histogram("test.reset_hist", {1.0}).record(0.5);
+  reset_metrics();
+  const MetricsSnapshot snap = snapshot_metrics();
+  for (const auto& [name, v] : snap.counters) EXPECT_EQ(v, 0u) << name;
+  for (const auto& [name, v] : snap.gauges) EXPECT_DOUBLE_EQ(v, 0.0) << name;
+  for (const auto& h : snap.histograms) EXPECT_EQ(h.count, 0u) << h.name;
+  bool found = false;
+  for (const auto& [name, v] : snap.counters)
+    if (name == "test.reset") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, SpansRecordCompleteEventsWithArgs) {
+  {
+    Span span("test/outer");
+    span.arg("k", 42);
+    span.arg("label", std::string("abc"));
+    Span inner("test/inner");
+  }
+  trace_counter("test/value", 3.5);
+  trace_instant("test/mark");
+
+  const auto events = collect_trace_events();
+  ASSERT_EQ(events.size(), 4u);
+  // Sorted by timestamp: spans carry their *start* time, so outer precedes
+  // inner, and both precede the post-scope samples.
+  EXPECT_EQ(events[0].name, "test/outer");
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_GE(events[0].dur_us, events[1].dur_us);
+  ASSERT_EQ(events[0].num_args.size(), 1u);
+  EXPECT_EQ(events[0].num_args[0].first, "k");
+  EXPECT_DOUBLE_EQ(events[0].num_args[0].second, 42.0);
+  ASSERT_EQ(events[0].str_args.size(), 1u);
+  EXPECT_EQ(events[0].str_args[0].second, "abc");
+  EXPECT_EQ(events[1].name, "test/inner");
+  EXPECT_EQ(events[2].name, "test/value");
+  EXPECT_EQ(events[2].ph, 'C');
+  EXPECT_DOUBLE_EQ(events[2].value, 3.5);
+  EXPECT_EQ(events[3].ph, 'i');
+
+  // The JSON document is parseable and wraps the same event count.
+  const util::JsonValue doc = util::JsonValue::parse(trace_to_json());
+  EXPECT_EQ(doc.at("traceEvents").items().size(), 4u);
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  set_trace_enabled(false);
+  {
+    Span span("test/ignored");
+    span.arg("k", 1);
+  }
+  trace_counter("test/ignored", 1.0);
+  trace_instant("test/ignored");
+  EXPECT_TRUE(collect_trace_events().empty());
+}
+
+}  // namespace
+}  // namespace netsmith::obs

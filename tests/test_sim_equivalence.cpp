@@ -28,6 +28,11 @@ void expect_identical(const SimStats& ref, const SimStats& opt) {
   EXPECT_EQ(ref.source_flits_end, opt.source_flits_end);
   EXPECT_EQ(ref.credits_consistent, opt.credits_consistent);
   EXPECT_EQ(ref.owners_clear, opt.owners_clear);
+  // Activity counters: the reference pre-scan and the optimized active-set
+  // popcount must count exactly the same routers every cycle, and arrival
+  // deliveries share one heap-driven code path.
+  EXPECT_EQ(ref.active_router_cycles, opt.active_router_cycles);
+  EXPECT_EQ(ref.arrival_heap_pops, opt.arrival_heap_pops);
   // Same integer event history implies the exact same arithmetic.
   EXPECT_DOUBLE_EQ(ref.accepted, opt.accepted);
   EXPECT_DOUBLE_EQ(ref.avg_latency_cycles, opt.avg_latency_cycles);
@@ -43,6 +48,8 @@ void run_both(const core::NetworkPlan& plan, const TrafficConfig& traffic,
   expect_identical(ref, opt);
   // Guard against vacuous equivalence (both empty).
   EXPECT_GT(ref.total_injected, 0);
+  EXPECT_GT(ref.active_router_cycles, 0);
+  EXPECT_GT(ref.arrival_heap_pops, 0);
 }
 
 core::NetworkPlan plan_for(const topo::DiGraph& g, const topo::Layout& lay) {

@@ -3,9 +3,13 @@
 //   netsmith_run <spec.json> [--out PATH] [--threads N]
 //   netsmith_run <spec.json> --validate
 //
-//   --out PATH   write the JSON report to PATH (default: stdout)
-//   --threads N  Study thread-pool override (0 = hardware concurrency)
-//   --validate   parse + round-trip the spec and exit without running
+//   --out PATH    write the JSON report to PATH (default: stdout)
+//   --threads N   Study thread-pool override (0 = hardware concurrency)
+//   --validate    parse + round-trip the spec and exit without running
+//   --trace PATH  record trace spans and write Chrome trace_event JSON
+//                 (load in chrome://tracing or https://ui.perfetto.dev)
+//   --metrics     collect the obs counter/gauge/histogram registry; the
+//                 snapshot lands in the report's "metrics" block
 //
 // The report is schema-versioned and embeds the spec verbatim; after
 // writing, the tool re-parses its own output (spec_from_report) and checks
@@ -20,6 +24,8 @@
 
 #include "api/report.hpp"
 #include "api/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 using namespace netsmith;
@@ -29,7 +35,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: netsmith_run <spec.json> [--out PATH] [--threads N] "
-               "[--validate]\n");
+               "[--validate] [--trace PATH] [--metrics]\n");
   return 2;
 }
 
@@ -44,9 +50,10 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string spec_path, out_path;
+  std::string spec_path, out_path, trace_path;
   int threads = -1;
   bool validate_only = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out_path = argv[++i];
@@ -54,6 +61,10 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--validate")) {
       validate_only = true;
+    } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else if (spec_path.empty()) {
@@ -78,9 +89,16 @@ int main(int argc, char** argv) {
     }
 
     util::WallTimer timer;
+    if (metrics) obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) obs::set_trace_enabled(true);
     api::Study study(spec, api::StudyOptions{threads});
     const api::Report report = study.run();
     const std::string json = api::report_to_json(report);
+
+    if (!trace_path.empty()) {
+      obs::write_trace(trace_path);
+      std::fprintf(stderr, "netsmith_run: trace -> %s\n", trace_path.c_str());
+    }
 
     // Self-check: the emitted report's embedded spec must parse back to the
     // exact input spec.
