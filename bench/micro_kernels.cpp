@@ -10,6 +10,7 @@
 #include "sim/network.hpp"
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
+#include "topo/delta_apsp.hpp"
 #include "topo/metrics.hpp"
 
 using namespace netsmith;
@@ -156,6 +157,62 @@ void BM_SimulatorCycles(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4500);  // cycles per run
 }
 BENCHMARK(BM_SimulatorCycles)->Unit(benchmark::kMillisecond);
+
+// One delta-APSP rewire move (remove + re-add, then rollback so successive
+// iterations see the same graph): affected-row detection, journaled
+// re-sweeps, and the rollback memcpys — the annealer's per-move APSP cost.
+void BM_DeltaApspMove(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = static_cast<int>(state.range(1));
+  const auto lay = topo::Layout{rows, cols, 2.0};
+  util::Rng rng(11);
+  auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+  topo::DeltaApsp engine(g.num_nodes());
+  engine.rebuild(g);
+  const auto edges = g.edges();
+  std::size_t which = 0;
+  for (auto _ : state) {
+    const auto [u, v] = edges[which++ % edges.size()];
+    topo::DeltaApsp::EdgeChange ch[2] = {{u, v, false}, {v, u, true}};
+    const bool rewire = !g.has_edge(v, u);  // else a pure remove
+    g.remove_edge(u, v);
+    if (rewire) g.add_edge(v, u);
+    benchmark::DoNotOptimize(engine.apply(g, ch, rewire ? 2 : 1));
+    engine.rollback();
+    if (rewire) g.remove_edge(v, u);
+    g.add_edge(u, v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaApspMove)->Args({8, 6})->Args({16, 16})->Args({32, 32});
+
+// Landmark objective estimate: maintained hop_sum over k sampled rows,
+// scaled by n/k — the annealer's large-n move score.
+void BM_LandmarkEstimate(benchmark::State& state) {
+  const auto lay = topo::Layout{16, 16, 2.0};
+  const int n = lay.n();
+  const int k = static_cast<int>(state.range(0));
+  util::Rng rng(12);
+  auto g = topo::build_random(lay, topo::LinkClass::kMedium, 4, rng);
+  std::vector<int> sources;
+  for (int s = 0; s < k; ++s) sources.push_back(s * (n / k));
+  topo::DeltaApsp engine(n, sources);
+  engine.rebuild(g);
+  const auto edges = g.edges();
+  std::size_t which = 0;
+  const double scale = static_cast<double>(n) / k;
+  for (auto _ : state) {
+    const auto [u, v] = edges[which++ % edges.size()];
+    g.remove_edge(u, v);
+    topo::DeltaApsp::EdgeChange ch[1] = {{u, v, false}};
+    engine.apply(g, ch, 1);
+    benchmark::DoNotOptimize(static_cast<double>(engine.hop_sum()) * scale);
+    engine.rollback();
+    g.add_edge(u, v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LandmarkEstimate)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_AnnealMoves(benchmark::State& state) {
   for (auto _ : state) {

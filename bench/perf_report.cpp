@@ -5,8 +5,10 @@
 //
 // Usage: perf_report [--smoke] [--out PATH] [--min-apsp-speedup X]
 //                    [--min-sim-speedup X] [--min-mclb-speedup X]
-//                    [--max-obs-overhead-pct X]
-//   --smoke              short budgets (CI-friendly, ~10 s total)
+//                    [--max-obs-overhead-pct X] [--min-delta-apsp-speedup X]
+//   --smoke              short budgets (CI-friendly, ~10 s total); the
+//                        n_scaling block covers n = {48, 256} instead of the
+//                        full {48, 128, 256, 512, 1024} curve
 //   --out PATH           output JSON path (default: BENCH_perf.json in cwd)
 //   --min-apsp-speedup X exit non-zero if bitset/scalar APSP speedup < X,
 //                        so CI fails loudly on kernel regressions
@@ -17,17 +19,25 @@
 //   --max-obs-overhead-pct X exit non-zero if running with metrics + tracing
 //                        enabled costs more than X% over the disabled
 //                        baseline (sim or MCLB arm)
+//   --min-delta-apsp-speedup X exit non-zero if the delta-APSP engine's
+//                        per-move throughput at n = 256 is not at least X
+//                        times the full n-source re-sweep (annealer-style
+//                        rewire moves, arms interleaved)
 //
 // Speedups are measured as in-process ratios (optimized and reference runs
 // interleaved in the same process), so they stay meaningful on a noisy
 // 1-core CI runner where absolute throughput numbers drift with load.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
+
+#include <utility>
+#include <vector>
 
 #include "core/netsmith.hpp"
 #include "obs/metrics.hpp"
@@ -37,6 +47,7 @@
 #include "sim/network.hpp"
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
+#include "topo/delta_apsp.hpp"
 #include "topo/metrics.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
@@ -76,6 +87,20 @@ struct Report {
   double mclb_compile_ms = 0.0;
   double obs_sim_overhead_pct = 0.0;
   double obs_mclb_overhead_pct = 0.0;
+  // Schema 4: delta-APSP per-move engine vs full re-sweep at n = 256.
+  double dapsp_delta_ns = 0.0;
+  double dapsp_full_ns = 0.0;
+  double dapsp_speedup = 0.0;
+  double dapsp_rows_per_move = 0.0;
+  // Schema 4: synthesis + simulation throughput vs n.
+  struct ScalePoint {
+    int n = 0;
+    double synth_moves_per_sec = 0.0;
+    double apsp_rows_per_move = 0.0;  // delta-engine re-sweeps per move
+    int landmark_sources = 0;         // 0 = full per-move scoring
+    double sim_cycles_per_sec = 0.0;
+  };
+  std::vector<ScalePoint> scaling;
 };
 
 void write_json(const Report& r, const std::string& path) {
@@ -83,7 +108,10 @@ void write_json(const Report& r, const std::string& path) {
   // byte-compatible with the pre-writer (schema 2) handwritten output.
   util::JsonWriter w;
   w.begin_object();
-  w.field_int("schema", 3);  // v3: adds the "obs" instrumentation-overhead block
+  // v4: adds "delta_apsp" (incremental-APSP move engine vs full re-sweep)
+  // and "n_scaling" (synthesis + sim throughput vs n); every pre-v4 field is
+  // byte-compatible so the perf trajectory across PRs stays diffable.
+  w.field_int("schema", 4);
   w.field_bool("smoke", r.smoke);
   w.begin_object("anneal");
   w.field_fmt("moves_per_sec", "%.1f", r.anneal_moves_per_sec);
@@ -113,6 +141,24 @@ void write_json(const Report& r, const std::string& path) {
   w.field_fmt("sim_overhead_pct", "%.2f", r.obs_sim_overhead_pct);
   w.field_fmt("mclb_overhead_pct", "%.2f", r.obs_mclb_overhead_pct);
   w.end();
+  w.begin_object("delta_apsp");
+  w.field_int("n", 256);
+  w.field_fmt("delta_ns_per_move", "%.1f", r.dapsp_delta_ns);
+  w.field_fmt("full_ns_per_move", "%.1f", r.dapsp_full_ns);
+  w.field_fmt("speedup", "%.2f", r.dapsp_speedup);
+  w.field_fmt("rows_per_move", "%.2f", r.dapsp_rows_per_move);
+  w.end();
+  w.begin_array("n_scaling");
+  for (const auto& p : r.scaling) {
+    w.begin_object();
+    w.field_int("n", p.n);
+    w.field_fmt("synth_moves_per_sec", "%.1f", p.synth_moves_per_sec);
+    w.field_fmt("apsp_rows_per_move", "%.2f", p.apsp_rows_per_move);
+    w.field_int("landmark_sources", p.landmark_sources);
+    w.field_fmt("sim_cycles_per_sec", "%.1f", p.sim_cycles_per_sec);
+    w.end();
+  }
+  w.end();
   w.end();
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -133,6 +179,7 @@ int main(int argc, char** argv) {
   double min_sim_speedup = 0.0;
   double min_mclb_speedup = 0.0;
   double max_obs_overhead_pct = 0.0;
+  double min_dapsp_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--smoke")) rep.smoke = true;
     else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) out = argv[++i];
@@ -144,11 +191,14 @@ int main(int argc, char** argv) {
       min_mclb_speedup = std::atof(argv[++i]);
     else if (!std::strcmp(argv[i], "--max-obs-overhead-pct") && i + 1 < argc)
       max_obs_overhead_pct = std::atof(argv[++i]);
+    else if (!std::strcmp(argv[i], "--min-delta-apsp-speedup") && i + 1 < argc)
+      min_dapsp_speedup = std::atof(argv[++i]);
     else {
       std::fprintf(stderr,
                    "usage: perf_report [--smoke] [--out PATH] "
                    "[--min-apsp-speedup X] [--min-sim-speedup X] "
-                   "[--min-mclb-speedup X] [--max-obs-overhead-pct X]\n");
+                   "[--min-mclb-speedup X] [--max-obs-overhead-pct X] "
+                   "[--min-delta-apsp-speedup X]\n");
       return 2;
     }
   }
@@ -222,6 +272,245 @@ int main(int argc, char** argv) {
     rep.mclb_scan_routes_per_sec = static_cast<double>(scan_routes) / scan_s;
     rep.mclb_speedup =
         rep.mclb_flat_routes_per_sec / rep.mclb_scan_routes_per_sec;
+  }
+
+  // --- Delta-APSP move engine vs full re-sweep at n = 256. ----------------
+  // Two arms replay the annealer's real hot loop — its move distribution,
+  // radix bound, kLatOp score, and Metropolis acceptance with the default
+  // t0/t1 schedule — on identical graph/RNG streams, interleaved so
+  // machine-load noise cancels out of the ratio. Replaying the acceptance
+  // rule matters as much as the move mix: accepted moves bias the graph
+  // toward low-hop, redundancy-rich states where few rows change per edit.
+  // The full arm is exactly what the pre-delta HopEvaluator paid per scored
+  // move: an n-source word-parallel sum_from sweep.
+  {
+    const int n = 256;
+    const topo::Layout lay{16, 16, 2.0};
+
+    struct RewireArm {
+      topo::DiGraph g{0};
+      std::vector<std::pair<int, int>> edges;
+      const std::vector<std::vector<int>>* cand = nullptr;  // legal links
+      util::Rng rng{0xB1D5};
+      topo::DeltaApsp::EdgeChange ch[2];
+      int nch = 0;
+
+      // One move with the annealer's exact distribution: 15% pure add,
+      // 10% pure remove, 75% rewire (remove + add elsewhere), where adds
+      // come from the layout/link-class candidate set under the radix-4
+      // degree bound. This matters for the measurement: arbitrary
+      // long-range or degree-unbounded adds shortcut far more rows than
+      // any move the synthesis hot loop can actually make.
+      bool try_add(int radix) {
+        const int n = g.num_nodes();
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+          if ((*cand)[u].empty()) continue;
+          const int v = rng.pick((*cand)[u]);
+          if (g.has_edge(u, v)) continue;
+          if (g.out_degree(u) >= radix || g.in_degree(v) >= radix) continue;
+          g.add_edge(u, v);
+          edges.emplace_back(u, v);
+          ch[nch++] = {u, v, true};
+          return true;
+        }
+        return false;
+      }
+
+      bool mutate() {
+        nch = 0;
+        const double r = rng.uniform();
+        if (r < 0.15) return try_add(4);  // pure add (fills radix slack)
+        if (edges.empty()) return false;
+        const auto idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(edges.size()) - 1));
+        const auto [u, v] = edges[idx];
+        g.remove_edge(u, v);
+        edges[idx] = edges.back();
+        edges.pop_back();
+        ch[nch++] = {u, v, false};
+        if (r < 0.25) return true;  // pure remove
+        try_add(4);                 // rewire (a failed re-add stays a remove)
+        return true;
+      }
+      void revert() {
+        for (int i = nch; i-- > 0;) {
+          if (ch[i].added) {
+            g.remove_edge(ch[i].u, ch[i].v);
+            edges.pop_back();
+          } else {
+            g.add_edge(ch[i].u, ch[i].v);
+            edges.emplace_back(ch[i].u, ch[i].v);
+          }
+        }
+      }
+    };
+
+    util::Rng grng(7);
+    std::vector<std::vector<int>> cand(n);
+    for (const auto& [i, j] : topo::valid_links(lay, topo::LinkClass::kMedium))
+      cand[i].push_back(j);
+    RewireArm delta_arm, full_arm;
+    delta_arm.g = topo::build_random(lay, topo::LinkClass::kMedium, 4, grng);
+    delta_arm.edges = delta_arm.g.edges();
+    delta_arm.cand = &cand;
+    full_arm.g = delta_arm.g;
+    full_arm.edges = delta_arm.edges;
+    full_arm.cand = &cand;
+
+    topo::DeltaApsp engine(n);
+    engine.rebuild(delta_arm.g);
+    topo::BitBfs bfs(n);
+
+    // kLatOp score, exactly as the annealer's search_score computes it: the
+    // raw total hop sum (disconnection scored as a huge penalty). Both arms
+    // compute it bit-exactly (the engine's hop_sum is proven identical to
+    // the full sweep), so their accept decisions — and hence graphs and RNG
+    // streams — stay in lockstep.
+    const auto score_of = [](long long hops, long miss) {
+      return miss > 0 ? 1e15 : static_cast<double>(hops);
+    };
+    double dscore = score_of(engine.hop_sum(), engine.unreachable());
+    // Annealer default schedule (t0 = 8, t1 = 0.02) over a fixed horizon;
+    // past it the temperature floors at t1, the annealer's steady state.
+    const double t0 = 8.0, t1 = 0.02, horizon = 12000.0;
+    const auto temp_at = [t0, t1, horizon](long move) {
+      const double frac = std::min(1.0, static_cast<double>(move) / horizon);
+      return t0 * std::pow(t1 / t0, frac);
+    };
+
+    // Untimed burn-in: run the cooling schedule to its floor so the timed
+    // comparison happens on the low-temperature steady state, which is where
+    // a move-budgeted annealer run spends nearly all of its moves.
+    for (long m = 0; m < static_cast<long>(horizon); ++m) {
+      if (!delta_arm.mutate()) continue;
+      engine.apply(delta_arm.g, delta_arm.ch, delta_arm.nch);
+      const double cand = score_of(engine.hop_sum(), engine.unreachable());
+      const double d = cand - dscore;
+      if (d <= 0.0 || delta_arm.rng.uniform() < std::exp(-d / temp_at(m))) {
+        engine.commit();
+        dscore = cand;
+      } else {
+        engine.rollback();
+        delta_arm.revert();
+      }
+    }
+    full_arm.g = delta_arm.g;
+    full_arm.edges = delta_arm.edges;
+    full_arm.rng = delta_arm.rng;  // identical streams from here on
+    double fscore = dscore;
+    const std::int64_t burnin_resweeps = engine.resweeps();
+
+    const int batch = 16;
+    util::WallTimer total;
+    double delta_s = 0.0, full_s = 0.0;
+    long delta_moves = 0, full_moves = 0;
+    do {
+      {
+        util::WallTimer w;
+        for (int b = 0; b < batch; ++b) {
+          if (!delta_arm.mutate()) continue;
+          engine.apply(delta_arm.g, delta_arm.ch, delta_arm.nch);
+          const double cand = score_of(engine.hop_sum(), engine.unreachable());
+          const double d = cand - dscore;
+          if (d <= 0.0 || delta_arm.rng.uniform() < std::exp(-d / t1)) {
+            engine.commit();
+            dscore = cand;
+          } else {
+            engine.rollback();
+            delta_arm.revert();
+          }
+          ++delta_moves;
+        }
+        delta_s += w.seconds();
+      }
+      {
+        util::WallTimer w;
+        for (int b = 0; b < batch; ++b) {
+          if (!full_arm.mutate()) continue;
+          long long hops = 0;
+          int miss = 0;
+          for (int s = 0; s < n; ++s)
+            hops += bfs.sum_from(full_arm.g, s, &miss);
+          const double cand = score_of(hops, miss);
+          const double d = cand - fscore;
+          if (d <= 0.0 || full_arm.rng.uniform() < std::exp(-d / t1)) {
+            fscore = cand;
+          } else {
+            full_arm.revert();
+          }
+          ++full_moves;
+        }
+        full_s += w.seconds();
+      }
+    } while (total.seconds() < kernel_budget * 2.0);
+    rep.dapsp_delta_ns = delta_s * 1e9 / static_cast<double>(delta_moves);
+    rep.dapsp_full_ns = full_s * 1e9 / static_cast<double>(full_moves);
+    rep.dapsp_speedup = rep.dapsp_full_ns / rep.dapsp_delta_ns;
+    rep.dapsp_rows_per_move =
+        static_cast<double>(engine.resweeps() - burnin_resweeps) /
+        static_cast<double>(delta_moves);
+  }
+
+  // --- Synthesis + simulation throughput vs n (the scaling curve). --------
+  // Move-budgeted kLatOp synthesis (landmark estimation from n = 256 up) and
+  // a bounded coherence-traffic simulation of the synthesized fabric.
+  {
+    struct Pt {
+      int n, rows, cols;
+      long moves;
+    };
+    const Pt pts[] = {{48, 8, 6, 4000},
+                      {128, 16, 8, 3000},
+                      {256, 16, 16, 3000},
+                      {512, 32, 16, 2000},
+                      {1024, 32, 32, 1500}};
+    for (const auto& pt : pts) {
+      if (rep.smoke && pt.n != 48 && pt.n != 256) continue;
+      Report::ScalePoint sp;
+      sp.n = pt.n;
+      core::SynthesisConfig cfg;
+      cfg.layout = topo::Layout{pt.rows, pt.cols, 2.0};
+      cfg.link_class = topo::LinkClass::kMedium;
+      cfg.objective = core::Objective::kLatOp;
+      cfg.time_limit_s = 600.0;  // the move budget terminates first
+      cfg.restarts = 1;
+      cfg.seed = 9;
+      core::AnnealOptions ao;
+      ao.threads = 1;
+      ao.max_moves = rep.smoke ? std::min(pt.moves, 1500L) : pt.moves;
+      ao.landmark_sources = pt.n >= 256 ? 64 : 0;
+      sp.landmark_sources = ao.landmark_sources;
+      util::WallTimer synth_t;
+      const auto r = core::anneal_synthesize(cfg, ao);
+      const double synth_s = synth_t.seconds();
+      sp.synth_moves_per_sec = static_cast<double>(r.moves) / synth_s;
+      sp.apsp_rows_per_move =
+          r.moves > 0
+              ? static_cast<double>(r.apsp_resweeps) / static_cast<double>(r.moves)
+              : 0.0;
+
+      // The longer routes at n >= 512 need a deeper VC stack for an acyclic
+      // layering (same bound fig_scale uses).
+      const auto plan = core::plan_network(
+          r.graph, cfg.layout, core::RoutingPolicy::kMclb,
+          /*num_vcs=*/pt.n >= 512 ? 10 : 6, 7, /*max_paths_per_flow=*/4);
+      sim::TrafficConfig t;
+      t.kind = sim::TrafficKind::kCoherence;
+      t.injection_rate = 0.02;
+      sim::SimConfig scfg;
+      scfg.warmup = 200;
+      scfg.measure = rep.smoke ? 600 : 1500;
+      scfg.drain = 1000;
+      util::WallTimer sim_t;
+      const long cycles = sim::simulate(plan, t, scfg).cycles_run;
+      sp.sim_cycles_per_sec = static_cast<double>(cycles) / sim_t.seconds();
+      rep.scaling.push_back(sp);
+      std::printf("  n_scaling n=%-5d synth %.0f moves/s (%.1f rows/move, "
+                  "lm=%d) | sim %.2e cyc/s\n",
+                  sp.n, sp.synth_moves_per_sec, sp.apsp_rows_per_move,
+                  sp.landmark_sources, sp.sim_cycles_per_sec);
+    }
   }
 
   // --- Annealer move throughput (LatOp on the 4x5 NoI). -------------------
@@ -359,11 +648,14 @@ int main(int argc, char** argv) {
 
   write_json(rep, out);
   std::printf("perf_report%s: anneal %.0f moves/s | apsp48 %.0f ns (scalar "
-              "%.0f ns, %.2fx) | cut20 %.2f ms | mclb %.0f routes/s (scan "
+              "%.0f ns, %.2fx) | dapsp256 %.0f ns/move (full %.0f ns, %.2fx, "
+              "%.1f rows/move) | cut20 %.2f ms | mclb %.0f routes/s (scan "
               "%.0f, %.2fx) | sim %.2e cyc/s (ref %.2e, %.2fx) | obs "
               "+%.1f%%/+%.1f%% -> %s\n",
               rep.smoke ? " [smoke]" : "", rep.anneal_moves_per_sec,
               rep.apsp48_bitset_ns, rep.apsp48_scalar_ns, rep.apsp48_speedup,
+              rep.dapsp_delta_ns, rep.dapsp_full_ns, rep.dapsp_speedup,
+              rep.dapsp_rows_per_move,
               rep.cut_exact20_ms, rep.mclb_flat_routes_per_sec,
               rep.mclb_scan_routes_per_sec, rep.mclb_speedup,
               rep.sim_cycles_per_sec, rep.sim_ref_cycles_per_sec,
@@ -387,6 +679,13 @@ int main(int argc, char** argv) {
                  "perf_report: MCLB flat-engine speedup %.2fx below required "
                  "%.2fx\n",
                  rep.mclb_speedup, min_mclb_speedup);
+    return 1;
+  }
+  if (min_dapsp_speedup > 0.0 && rep.dapsp_speedup < min_dapsp_speedup) {
+    std::fprintf(stderr,
+                 "perf_report: delta-APSP per-move speedup %.2fx at n=256 "
+                 "below required %.2fx\n",
+                 rep.dapsp_speedup, min_dapsp_speedup);
     return 1;
   }
   if (max_obs_overhead_pct > 0.0 &&

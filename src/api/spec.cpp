@@ -96,6 +96,7 @@ JsonValue to_json(const TopologySpec& t) {
   o.set("synth_seed", JsonValue::integer(static_cast<long long>(t.synth_seed)));
   o.set("restarts", JsonValue::integer(t.restarts));
   o.set("max_moves", JsonValue::integer(t.max_moves));
+  o.set("landmark_sources", JsonValue::integer(t.landmark_sources));
   return o;
 }
 
@@ -251,6 +252,8 @@ TopologySpec parse_topology(const JsonValue& v, int index) {
   t.synth_seed = r.get_u64("synth_seed", t.synth_seed);
   t.restarts = static_cast<int>(r.get_int("restarts", t.restarts));
   t.max_moves = r.get_int("max_moves", t.max_moves);
+  t.landmark_sources =
+      static_cast<int>(r.get_int("landmark_sources", t.landmark_sources));
   r.finish();
 
   // Per-source structural validation.

@@ -64,6 +64,10 @@ struct TopologySpec {
   // > 0: move-budgeted deterministic annealing (bit-reproducible reports);
   // 0: wall-clock budget (time_limit_s).
   long max_moves = 0;
+  // > 0: landmark objective estimation — score moves from this many sampled
+  // sources (hop-based objectives only; incumbents stay exact). 0 = full
+  // per-move scoring. See AnnealOptions::landmark_sources.
+  int landmark_sources = 0;
 
   bool operator==(const TopologySpec&) const = default;
 };

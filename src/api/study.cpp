@@ -193,6 +193,7 @@ void Study::expand() {
           TopologyArtifact art;
           art.source = ts.source;
           art.max_moves = ts.max_moves;
+          art.landmark_sources = ts.landmark_sources;
           auto& cfg = art.synth_cfg;
           const int rows = ts.rows > 0 ? ts.rows : 4;
           const int cols = ts.cols > 0 ? ts.cols : 5;
@@ -217,7 +218,8 @@ void Study::expand() {
                     ";t=" + fmt_double(ts.time_limit_s) +
                     ";seed=" + std::to_string(ts.synth_seed) +
                     ";restarts=" + std::to_string(ts.restarts) +
-                    ";moves=" + std::to_string(ts.max_moves);
+                    ";moves=" + std::to_string(ts.max_moves) +
+                    ";lm=" + std::to_string(ts.landmark_sources);
           auto& nt = art.topo;
           nt.layout = cfg.layout;
           nt.link_class = cfg.link_class;
@@ -297,6 +299,7 @@ void Study::run_topology_job(TopologyArtifact& t) {
     // and serial restarts keep the result independent of pool width.
     ao.threads = 1;
     ao.max_moves = t.max_moves;
+    ao.landmark_sources = t.landmark_sources;
     t.synth = core::anneal_synthesize(t.synth_cfg, ao);
     t.topo.graph = t.synth.graph;
     t.synthesized = true;
@@ -307,7 +310,10 @@ void Study::run_topology_job(TopologyArtifact& t) {
     t.avg_hops = topo::average_hops(g);
     t.diameter = topo::diameter(g);
     t.bisection_bw = topo::bisection_bandwidth(g);
-    t.cut_bound = routing::cut_bound(g);
+    // The sparsest-cut heuristic packs partitions into a 64-bit mask; past
+    // that the cut bound is simply not reported (reads as 0) rather than
+    // capping the whole analytic block at n = 64.
+    if (g.num_nodes() <= 64) t.cut_bound = routing::cut_bound(g);
     if (t.topo.extra_edge_delay.rows() > 0 && g.num_directed_edges() > 0) {
       long extra = 0;
       for (const auto& [i, j] : g.edges()) extra += t.topo.extra_edge_delay(i, j);

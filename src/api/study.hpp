@@ -39,6 +39,7 @@ struct TopologyArtifact {
   // Synthesize inputs (pending until the job runs).
   core::SynthesisConfig synth_cfg;
   long max_moves = 0;
+  int landmark_sources = 0;
   bool synthesized = false;
   core::SynthesisResult synth;
   // spec.analytic metrics (filled by the topology job).

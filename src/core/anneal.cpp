@@ -19,6 +19,7 @@
 #include "routing/paths.hpp"
 #include "topo/builders.hpp"
 #include "topo/cuts.hpp"
+#include "topo/delta_apsp.hpp"
 #include "topo/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -29,25 +30,13 @@ namespace {
 
 constexpr double kDisconnected = 1e9;
 
-// Word-parallel objective engine: total / weighted hops via bitset BFS over
-// the graph's adjacency bit rows (scratch reused across moves). Unreachable
-// pairs contribute a kDisconnected-scaled penalty so the search gradient
-// points toward connectivity.
+// One-shot weighted-hops evaluation for the analytic bound (the per-move hop
+// path now reads the incrementally maintained topo::DeltaApsp rows instead).
+// Unreachable pairs contribute a kDisconnected-scaled penalty so the search
+// gradient points toward connectivity.
 class HopEvaluator {
  public:
   explicit HopEvaluator(int n) : n_(n), bfs_(n), dist_(n) {}
-
-  double total_hops(const topo::DiGraph& g) {
-    double total = 0.0;
-    long unreachable = 0;
-    for (int s = 0; s < n_; ++s) {
-      int miss = 0;
-      total += static_cast<double>(bfs_.sum_from(g, s, &miss));
-      unreachable += miss;
-    }
-    if (unreachable > 0) return kDisconnected * unreachable;
-    return total;
-  }
 
   double weighted_hops(const topo::DiGraph& g, const util::Matrix<double>& w) {
     double total = 0.0, wsum = 0.0;
@@ -66,27 +55,6 @@ class HopEvaluator {
     }
     if (unreachable > 0) return kDisconnected * unreachable;
     return wsum > 0.0 ? total / wsum : 0.0;
-  }
-
-  // Total hops AND the full APSP matrix in one word-parallel sweep: the
-  // route-aware objectives feed `dist` straight into
-  // enumerate_shortest_paths_from_dist, so the move evaluation never runs a
-  // second BFS over the same graph.
-  double total_hops_into(const topo::DiGraph& g, util::Matrix<int>& dist) {
-    double total = 0.0;
-    long unreachable = 0;
-    for (int s = 0; s < n_; ++s) {
-      bfs_.distances(g, s, &dist(s, 0));
-      for (int j = 0; j < n_; ++j) {
-        if (j == s) continue;
-        if (dist(s, j) >= topo::kUnreachable)
-          ++unreachable;
-        else
-          total += dist(s, j);
-      }
-    }
-    if (unreachable > 0) return kDisconnected * unreachable;
-    return total;
   }
 
  private:
@@ -180,6 +148,48 @@ struct EdgePool {
   }
 };
 
+// Per-worker-thread scratch reused across restarts: at n = 1024 the distance
+// matrix alone is 4 MB, so re-allocating it (plus the BFS bitsets and the
+// compiled path arrays) per restart churns the allocator for nothing.
+struct RestartWorkspace {
+  topo::DeltaApsp engine;        // maintained distance rows + hop aggregates
+  topo::BitBfs bfs{0};           // exact-re-score sweeps (landmark mode)
+  int bfs_n = 0;
+  util::Matrix<int> exact_dist;  // full APSP scratch for exact re-scores
+  routing::PathCompiler path_compiler;
+  routing::CompiledPathSet cps;
+  EdgePool pool;
+
+  void ensure_exact(int n) {
+    if (bfs_n != n) {
+      bfs = topo::BitBfs(n);
+      bfs_n = n;
+    }
+    if (static_cast<int>(exact_dist.rows()) != n)
+      exact_dist = util::Matrix<int>(static_cast<std::size_t>(n),
+                                     static_cast<std::size_t>(n), 0);
+  }
+};
+
+// Deterministic k-subset of sources for landmark estimation: a dedicated RNG
+// stream keyed on (seed, restart), so enabling landmarks never perturbs the
+// move RNG sequence and the sample is identical at any thread count.
+std::vector<int> landmark_sample(int n, int k, std::uint64_t seed,
+                                 int restart) {
+  std::vector<int> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  util::Rng rng(seed * 0xC2B2AE3D27D4EB4FULL +
+                0x165667B19E3779F9ULL * (static_cast<std::uint64_t>(restart) + 1));
+  for (int i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        i + rng.uniform_int(0, static_cast<std::int64_t>(n) - 1 - i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+  }
+  ids.resize(static_cast<std::size_t>(k));
+  std::sort(ids.begin(), ids.end());  // ascending = cache-friendly sweeps
+  return ids;
+}
+
 // Shared, immutable search inputs (candidate link set, analytic bound).
 struct SearchContext {
   SynthesisConfig cfg;
@@ -187,9 +197,17 @@ struct SearchContext {
   int n = 0;
   std::vector<std::vector<int>> out_cand;  // candidate link set L (C3)
   double bound = 0.0;
+  // Landmark estimation is only wired to the hop-based objectives: SCOp
+  // scores through the cut cache, and the route-aware objectives need the
+  // full distance matrix for path enumeration anyway.
+  int landmarks = 0;  // 0 = exact full-row scoring
 
   SearchContext(const SynthesisConfig& c, const AnnealOptions& o)
       : cfg(c), opts(o), n(c.layout.n()) {
+    if (o.landmark_sources > 0 && o.landmark_sources < n &&
+        (cfg.objective == Objective::kLatOp ||
+         cfg.objective == Objective::kPattern))
+      landmarks = o.landmark_sources;
     out_cand.resize(n);
     for (const auto& [i, j] : topo::valid_links(cfg.layout, cfg.link_class)) {
       if (cfg.symmetric_links && i > j) continue;
@@ -254,23 +272,32 @@ struct RestartOutcome {
   };
   std::vector<TracePt> trace;
   long moves = 0, accepted = 0;
+  long resweeps = 0, rescores = 0;
   double duration_s = 0.0;
 };
 
-// One restart: fully self-contained state (RNG, objective engine, cut
-// cache, incumbent), so restarts are trivially parallel and the search
+// One restart: fully self-contained state (RNG, cut cache, incumbent) plus a
+// borrowed per-worker workspace holding the incrementally maintained
+// distance rows, so restarts are trivially parallel and the search
 // trajectory depends only on (cfg, opts, restart index).
+//
+// Move protocol: propose_and_apply mutates the graph, sync_engine() replays
+// the edit batch into the delta-APSP engine (journaling the overwritten
+// rows), search_score() is then a pure read of the maintained aggregates,
+// and accept/reject becomes engine.commit()/engine.rollback(). A rejected
+// move therefore costs a few row memcpys instead of an n-source BFS sweep.
 class RestartRun {
  public:
-  RestartRun(const SearchContext& ctx, int restart)
+  RestartRun(const SearchContext& ctx, int restart, RestartWorkspace& ws)
       : ctx_(ctx),
         cfg_(ctx.cfg),
         restart_(restart),
         n_(ctx.n),
         rng_(cfg_.seed * 0x9E3779B9 + restart * 1234567 + 1),
-        hop_eval_(n_),
         cuts_(n_, ctx.opts.cut_cache_size),
-        dist_(n_, n_) {}
+        ws_(ws),
+        landmark_(ctx.landmarks > 0),
+        scale_(landmark_ ? static_cast<double>(ctx.n) / ctx.landmarks : 1.0) {}
 
   RestartOutcome run() {
     util::WallTimer timer;
@@ -284,8 +311,28 @@ class RestartRun {
             ? topo::build_random_symmetric(cfg_.layout, cfg_.link_class,
                                            cfg_.radix, rng_)
             : topo::build_random(cfg_.layout, cfg_.link_class, cfg_.radix, rng_);
-    EdgePool pool;
-    pool.rebuild(g, cfg_.symmetric_links);
+    // The greedy radix fill can strand a node with no out-links on large
+    // grids (its candidates' in-degrees all saturated). A full-mode search
+    // recovers through the unreachability penalty, but a landmark-scored run
+    // is blind to pairs outside its sample and would then never produce an
+    // exactly-verified incumbent. Redraw until strongly connected — two BFS
+    // per check, and the extra rng_ draws only happen in the (rare)
+    // disconnected case, so existing trajectories are untouched.
+    for (int redraw = 0; redraw < 32 && !topo::strongly_connected(g); ++redraw)
+      g = cfg_.symmetric_links
+              ? topo::build_random_symmetric(cfg_.layout, cfg_.link_class,
+                                             cfg_.radix, rng_)
+              : topo::build_random(cfg_.layout, cfg_.link_class, cfg_.radix,
+                                   rng_);
+    ws_.pool.rebuild(g, cfg_.symmetric_links);
+    if (landmark_) {
+      ws_.engine.init(
+          n_, landmark_sample(n_, ctx_.landmarks, cfg_.seed, restart_));
+      ws_.ensure_exact(n_);  // incumbent re-scores need a full APSP
+    } else {
+      ws_.engine.init(n_);
+    }
+    ws_.engine.rebuild(g);
 
     const double budget_s = cfg_.time_limit_s / std::max(1, cfg_.restarts);
     const long budget_moves = ctx_.opts.max_moves;
@@ -293,6 +340,14 @@ class RestartRun {
 
     double score = search_score(g);
     long accepts_since_refresh = 0;
+
+    // Landmark mode: seed the incumbent with the (connected) start graph
+    // through the exact re-score path. Estimate-accepted moves can be
+    // invisibly disconnected outside the sampled sources, so without this a
+    // short large-n run may finish with no exactly-verified incumbent at
+    // all. Full mode keeps its original behavior (first accepted connected
+    // state wins), so existing trajectories are untouched.
+    if (landmark_) maybe_update_incumbent(g, out, timer, &score);
 
     for (;;) {
       double frac;
@@ -311,15 +366,18 @@ class RestartRun {
         if (budget_moves > 0 && moves_done >= budget_moves) break;
         ++out.moves;
         ++moves_done;
-        if (!propose_and_apply(g, pool)) continue;
+        if (!propose_and_apply(g, ws_.pool)) continue;
+        sync_engine(g);
         const double cand = search_score(g);
         const double delta = cand - score;
         if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temp)) {
+          ws_.engine.commit();
           score = cand;
           ++out.accepted;
           ++accepts_since_refresh;
         } else {
-          undo(g, pool);
+          ws_.engine.rollback();
+          undo(g, ws_.pool);
           continue;
         }
 
@@ -338,9 +396,12 @@ class RestartRun {
       }
     }
     out.duration_s = timer.seconds();
+    out.resweeps = static_cast<long>(ws_.engine.resweeps());
+    out.rescores = exact_rescores_;
     span.arg("moves", out.moves);
     span.arg("accepted", out.accepted);
     span.arg("incumbents", incumbent_updates_);
+    span.arg("resweeps", out.resweeps);
     // Per-restart flush: the hot loop above touches no shared state; the
     // registry sees a handful of adds per restart.
     if (obs::metrics_enabled()) {
@@ -352,11 +413,71 @@ class RestartRun {
           .add(static_cast<std::uint64_t>(incumbent_updates_));
       obs::counter("anneal.incumbent_fast_rejects")
           .add(static_cast<std::uint64_t>(fast_rejects_));
+      obs::counter("anneal.apsp_resweeps")
+          .add(static_cast<std::uint64_t>(out.resweeps));
+      obs::counter("anneal.exact_rescores")
+          .add(static_cast<std::uint64_t>(out.rescores));
     }
     return out;
   }
 
  private:
+  // Replay the move's edit batch into the delta-APSP engine. Removals and
+  // additions are detected against the pre-move rows (the union rule in
+  // topo/delta_apsp.hpp), so the entry order is immaterial.
+  void sync_engine(const topo::DiGraph& g) {
+    topo::DeltaApsp::EdgeChange ch[4];
+    int c = 0;
+    if (delta_.removed) {
+      ch[c++] = {delta_.rem.first, delta_.rem.second, false};
+      if (cfg_.symmetric_links)
+        ch[c++] = {delta_.rem.second, delta_.rem.first, false};
+    }
+    if (delta_.added) {
+      ch[c++] = {delta_.add.first, delta_.add.second, true};
+      if (cfg_.symmetric_links)
+        ch[c++] = {delta_.add.second, delta_.add.first, true};
+    }
+    ws_.engine.apply(g, ch, c);
+  }
+
+  // Hop total of the current graph from the maintained aggregates. Integer
+  // row sums are associative, so in full mode this is bit-identical to the
+  // old per-move n-source re-sweep; in landmark mode it is the sampled sum
+  // scaled by n/k (an estimate — never stored in an incumbent).
+  double hops_total() const {
+    const long unreach = ws_.engine.unreachable();
+    if (unreach > 0) return kDisconnected * unreach;
+    return static_cast<double>(ws_.engine.hop_sum()) * scale_;
+  }
+
+  // Pattern-weighted hops over the maintained rows, accumulated in the same
+  // (source-major, target-inner) order as the pre-delta evaluator so
+  // full-mode values are bit-identical.
+  double weighted_hops_now(const util::Matrix<double>& w) const {
+    double total = 0.0, wsum = 0.0;
+    long unreachable = 0;
+    const auto& d = ws_.engine.rows();
+    const auto& srcs = ws_.engine.sources();
+    const int k = ws_.engine.num_sources();
+    for (int r = 0; r < k; ++r) {
+      const int s = srcs[static_cast<std::size_t>(r)];
+      for (int j = 0; j < n_; ++j) {
+        if (j == s || w(s, j) <= 0.0) continue;
+        if (d(static_cast<std::size_t>(r), static_cast<std::size_t>(j)) >=
+            topo::kUnreachable) {
+          ++unreachable;
+        } else {
+          total += w(s, j) *
+                   d(static_cast<std::size_t>(r), static_cast<std::size_t>(j));
+          wsum += w(s, j);
+        }
+      }
+    }
+    if (unreachable > 0) return kDisconnected * unreachable;
+    return wsum > 0.0 ? total / wsum : 0.0;
+  }
+
   // C7 penalty: shortfall against the minimum sparsest-cut bandwidth,
   // evaluated exactly for tiny n and through the cut cache otherwise.
   double bandwidth_penalty(const topo::DiGraph& g) {
@@ -367,27 +488,29 @@ class RestartRun {
     return std::max(0.0, cfg_.min_cut_bandwidth - bw) * 50000.0;
   }
 
-  // Also records the uniform hops (and pattern-weighted hops) of the scored
-  // graph in last_hops_ / last_weighted_, so the incumbent check below does
-  // not redo the APSP the move evaluation just paid for.
+  // Pure read of the engine aggregates (+ cut cache / MCLB pipeline): the
+  // delta-APSP apply already happened in sync_engine, so re-scoring the same
+  // graph (e.g. after a cut refresh) is safe and cheap. Also records the
+  // hops (and pattern-weighted hops) of the scored graph in last_hops_ /
+  // last_weighted_ for the incumbent check below.
   double search_score(const topo::DiGraph& g) {
     switch (cfg_.objective) {
       case Objective::kLatOp:
-        last_hops_ = hop_eval_.total_hops(g);
+        last_hops_ = hops_total();
         return last_hops_ + bandwidth_penalty(g);
       case Objective::kPattern: {
         // Primary: pattern-weighted hops. Secondary (small weight): uniform
         // total hops, which keeps the spare port budget working for the
         // traffic the pattern doesn't exercise instead of leaving links
         // unplaced.
-        last_hops_ = hop_eval_.total_hops(g);
+        last_hops_ = hops_total();
         if (last_hops_ >= kDisconnected) return last_hops_;
-        last_weighted_ = hop_eval_.weighted_hops(g, cfg_.pattern);
+        last_weighted_ = weighted_hops_now(cfg_.pattern);
         return last_weighted_ * static_cast<double>(n_) * (n_ - 1) +
                0.05 * last_hops_ + bandwidth_penalty(g);
       }
       case Objective::kSCOp: {
-        last_hops_ = hop_eval_.total_hops(g);
+        last_hops_ = hops_total();
         if (last_hops_ >= kDisconnected) return last_hops_;
         const double avg = last_hops_ / (static_cast<double>(n_) * (n_ - 1));
         // Tiny instances: the exact sparsest cut is cheap enough to evaluate
@@ -400,9 +523,10 @@ class RestartRun {
       }
       case Objective::kChannelLoad:
       case Objective::kLatLoad: {
-        // Route-aware scoring: one word-parallel APSP sweep feeds both the
-        // hop term and the shortest-path DAG the MCLB pipeline routes over.
-        last_hops_ = hop_eval_.total_hops_into(g, dist_);
+        // Route-aware scoring: the maintained full distance matrix feeds
+        // both the hop term and the shortest-path DAG the MCLB pipeline
+        // routes over (no BFS at all on most moves).
+        last_hops_ = hops_total();
         if (last_hops_ >= kDisconnected) return last_hops_;
         last_load_ = route_max_load(g);
         const double avg = last_hops_ / (static_cast<double>(n_) * (n_ - 1));
@@ -419,21 +543,22 @@ class RestartRun {
     return 0.0;
   }
 
-  // MCLB max normalized channel load of g, routed over the shortest-path
-  // DAG already materialized in dist_ by total_hops_into (no second BFS).
-  // The compiler enumerates straight into the persistent compiled set, so
-  // the enumeration half of the per-move pipeline reuses its arrays instead
-  // of reallocating a ragged PathSet every move (the search itself still
-  // allocates its small flat scratch per call).
+  // MCLB max normalized channel load of g, routed over the maintained
+  // shortest-path matrix (route-aware objectives always run the engine in
+  // full mode). The compiler enumerates straight into the persistent
+  // compiled set, so the enumeration half of the per-move pipeline reuses
+  // its arrays instead of reallocating a ragged PathSet every move.
   double route_max_load(const topo::DiGraph& g) {
-    path_compiler_.enumerate(g, dist_, cfg_.anneal_paths_per_flow, cps_);
-    return routing::mclb_local_search(cps_, {}, cfg_.anneal_mclb_rounds)
+    ws_.path_compiler.enumerate(g, ws_.engine.rows(),
+                                cfg_.anneal_paths_per_flow, ws_.cps);
+    return routing::mclb_local_search(ws_.cps, {}, cfg_.anneal_mclb_rounds)
         .max_load;
   }
 
   // True when the accepted move's already-computed scores prove it cannot
   // beat this restart's incumbent (the fast path the expensive incumbent
-  // verification never runs for).
+  // verification never runs for). In landmark mode `avg` is the sampled
+  // estimate — a gate only; survivors are exactly re-scored below.
   bool cheap_reject(const topo::DiGraph& g, const RestartOutcome& out,
                     double avg) const {
     switch (cfg_.objective) {
@@ -456,23 +581,85 @@ class RestartRun {
     return false;
   }
 
+  // Landmark mode: full APSP of the candidate into ws_.exact_dist. Returns
+  // false when any pair is unreachable — the sampled estimate cannot see
+  // disconnection among non-sampled sources, so this is also the incumbent's
+  // connectivity check. On success *exact_avg (and for kPattern
+  // *exact_weighted, same loop order as weighted_hops_now in full mode) hold
+  // the exact objective values.
+  bool exact_rescore(const topo::DiGraph& g, double* exact_avg,
+                     double* exact_weighted) {
+    double total = 0.0;
+    long unreachable = 0;
+    for (int s = 0; s < n_; ++s) {
+      int* row = &ws_.exact_dist(static_cast<std::size_t>(s), 0);
+      ws_.bfs.distances(g, s, row);
+      for (int j = 0; j < n_; ++j) {
+        if (j == s) continue;
+        if (row[j] >= topo::kUnreachable)
+          ++unreachable;
+        else
+          total += row[j];
+      }
+    }
+    if (unreachable > 0) return false;
+    *exact_avg = total / (static_cast<double>(n_) * (n_ - 1));
+    if (cfg_.objective == Objective::kPattern) {
+      double t = 0.0, wsum = 0.0;
+      for (int s = 0; s < n_; ++s) {
+        for (int j = 0; j < n_; ++j) {
+          if (j == s || cfg_.pattern(s, j) <= 0.0) continue;
+          t += cfg_.pattern(s, j) *
+               ws_.exact_dist(static_cast<std::size_t>(s),
+                              static_cast<std::size_t>(j));
+          wsum += cfg_.pattern(s, j);
+        }
+      }
+      *exact_weighted = wsum > 0.0 ? t / wsum : 0.0;
+    }
+    return true;
+  }
+
   void maybe_update_incumbent(const topo::DiGraph& g, RestartOutcome& out,
                               const util::WallTimer& timer, double* score) {
-    // last_hops_ is the APSP result of the accepted move's search_score:
-    // no second all-pairs traversal here.
+    // last_hops_ is the maintained hop total of the accepted move (sampled
+    // estimate in landmark mode): no all-pairs traversal here.
     const double hops = last_hops_;
     if (hops >= kDisconnected) return;
     const double avg = hops / (static_cast<double>(n_) * (n_ - 1));
 
-    // Cheap reject: skip the diameter APSP and exact-cut work whenever the
-    // accepted score cannot beat this restart's incumbent.
+    // Cheap reject: skip the diameter / exact-cut / exact-re-score work
+    // whenever the accepted score cannot beat this restart's incumbent.
     if (out.have && cheap_reject(g, out, avg)) {
       ++fast_rejects_;
       return;
     }
 
-    if (cfg_.diameter_bound > 0 && topo::diameter(g) > cfg_.diameter_bound)
-      return;
+    // Landmark mode: the estimate above only gates. Exactly re-score before
+    // anything is compared against or stored in the incumbent, so the
+    // outcome (and the parallel-restart reduction) is identical to what an
+    // exact-scoring run would keep for this graph.
+    double exact_avg = avg, exact_weighted = last_weighted_;
+    if (landmark_) {
+      if (!exact_rescore(g, &exact_avg, &exact_weighted)) return;
+      ++exact_rescores_;
+      if (out.have) {
+        const bool lose = cfg_.objective == Objective::kPattern
+                              ? exact_weighted >= out.primary
+                              : exact_avg >= out.primary;
+        if (lose) {
+          ++fast_rejects_;
+          return;
+        }
+      }
+    }
+
+    if (cfg_.diameter_bound > 0) {
+      // Connectivity was already established, so the max entry of the
+      // maintained (or just re-scored) matrix is the graph diameter.
+      const auto& d = landmark_ ? ws_.exact_dist : ws_.engine.rows();
+      if (topo::diameter(d) > cfg_.diameter_bound) return;
+    }
     double verified_bw = -1.0;  // exact cut from the C7 check, if it ran
     if (cfg_.min_cut_bandwidth > 0.0) {
       // The cached bandwidth upper-bounds the exact sparsest cut, so a
@@ -500,8 +687,8 @@ class RestartRun {
       primary = verified_bw >= 0.0 ? verified_bw : cuts_.refresh(g);
       secondary = avg;
     } else if (cfg_.objective == Objective::kPattern) {
-      primary = last_weighted_;
-      secondary = avg;
+      primary = exact_weighted;
+      secondary = exact_avg;
     } else if (cfg_.objective == Objective::kChannelLoad) {
       primary = last_load_;
       secondary = avg;
@@ -509,8 +696,8 @@ class RestartRun {
       primary = avg + cfg_.load_weight * last_load_;
       secondary = avg;
     } else {
-      primary = avg;
-      secondary = avg;
+      primary = exact_avg;
+      secondary = exact_avg;
     }
 
     if (!out.have || ctx_.better(primary, secondary, out.primary, out.secondary)) {
@@ -613,16 +800,16 @@ class RestartRun {
   int restart_;
   int n_;
   util::Rng rng_;
-  HopEvaluator hop_eval_;
   CutCache cuts_;
-  util::Matrix<int> dist_;  // APSP scratch for the route-aware objectives
-  routing::PathCompiler path_compiler_;
-  routing::CompiledPathSet cps_;
+  RestartWorkspace& ws_;
+  bool landmark_;
+  double scale_;  // n / k in landmark mode, 1.0 otherwise
   double last_hops_ = 0.0;
   double last_weighted_ = 0.0;
   double last_load_ = 0.0;
   long incumbent_updates_ = 0;  // accepted incumbents (obs flush per restart)
   long fast_rejects_ = 0;       // cheap-reject gate hits
+  long exact_rescores_ = 0;     // landmark-mode full re-scores
   Delta delta_;
 };
 
@@ -648,8 +835,9 @@ SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
 
   std::vector<RestartOutcome> outcomes(restarts);
   if (threads <= 1) {
+    RestartWorkspace ws;  // reused across restarts (reserve/clear, no churn)
     for (int r = 0; r < restarts; ++r)
-      outcomes[r] = RestartRun(ctx, r).run();
+      outcomes[r] = RestartRun(ctx, r, ws).run();
   } else {
     std::atomic<int> next{0};
     std::exception_ptr error;
@@ -658,11 +846,12 @@ SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
     workers.reserve(threads);
     for (int t = 0; t < threads; ++t) {
       workers.emplace_back([&] {
+        RestartWorkspace ws;  // per-worker, reused across its restarts
         for (;;) {
           const int r = next.fetch_add(1);
           if (r >= restarts) return;
           try {
-            outcomes[r] = RestartRun(ctx, r).run();
+            outcomes[r] = RestartRun(ctx, r, ws).run();
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!error) error = std::current_exception();
@@ -690,6 +879,8 @@ SynthesisResult anneal_synthesize(const SynthesisConfig& cfg,
     const auto& out = outcomes[r];
     result.moves += out.moves;
     result.accepted += out.accepted;
+    result.apsp_resweeps += out.resweeps;
+    result.exact_rescores += out.rescores;
     if (out.have &&
         (!have || ctx.better(out.primary, out.secondary, bp, bs))) {
       have = true;

@@ -70,6 +70,14 @@ struct SynthesisResult {
   std::vector<ProgressPoint> trace;
   long moves = 0;
   long accepted = 0;
+  // Delta-APSP accounting: distance-matrix rows re-swept by the incremental
+  // engine across all scored moves. The full re-sweep equivalent is
+  // (sources tracked) x (scored moves); the ratio is the per-move APSP
+  // saving (bench/fig_scale.cpp reports it per n).
+  long apsp_resweeps = 0;
+  // Landmark mode only: exact full-APSP re-scores of incumbent candidates
+  // (0 when landmark estimation is off).
+  long exact_rescores = 0;
 };
 
 }  // namespace netsmith::core

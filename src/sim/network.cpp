@@ -104,7 +104,9 @@ class Simulator {
  private:
   // --- Setup -------------------------------------------------------------
   void build_channels() {
-    edge_id_.assign(static_cast<std::size_t>(n_) * n_, -1);
+    // No dense (u, v) -> channel map: lookups go through the per-router
+    // adjacency lists, and an n^2-int table would dominate the simulator's
+    // footprint at n = 1024 (4 MB for a graph with ~4n channels).
     out_edges_.resize(n_);
     in_edges_.resize(n_);
     for (const auto& [u, v] : plan_.graph.edges()) {
@@ -117,7 +119,6 @@ class Simulator {
       ch.init(cfg_.num_vcs, cfg_.buf_flits);
       ch.k_at_dst = static_cast<int>(in_edges_[v].size());
       const int id = static_cast<int>(channels_.size());
-      edge_id_[static_cast<std::size_t>(u) * n_ + v] = id;
       out_edges_[u].push_back(id);
       in_edges_[v].push_back(id);
       channels_.push_back(std::move(ch));
@@ -630,7 +631,6 @@ class Simulator {
   std::priority_queue<std::pair<long, int>, std::vector<std::pair<long, int>>,
                       std::greater<>>
       arrival_heap_;
-  std::vector<int> edge_id_;
   std::vector<std::vector<int>> out_edges_, in_edges_;
   std::vector<int> out_rr_, eject_rr_;
   std::vector<long> last_input_pop_;

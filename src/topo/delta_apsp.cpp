@@ -1,0 +1,157 @@
+#include "topo/delta_apsp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace netsmith::topo {
+
+void DeltaApsp::init(int n) {
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  init(n, std::move(all));
+}
+
+void DeltaApsp::init(int n, std::vector<int> sources) {
+  assert(n >= 0);
+  const bool regrow =
+      n != n_ || sources.size() != sources_.size();
+  n_ = n;
+  sources_ = std::move(sources);
+  const std::size_t k = sources_.size();
+  if (regrow) {
+    dist_ = util::Matrix<int>(k, static_cast<std::size_t>(n_), kUnreachable);
+    bfs_ = BitBfs(n_);
+  }
+  row_sum_.assign(k, 0);
+  row_unreach_.assign(k, 0);
+  mark_.assign(k, 0);
+  epoch_ = 0;
+  hop_sum_ = 0;
+  unreachable_ = 0;
+  journal_.clear();
+  journal_rows_.clear();
+  pending_ = false;
+  resweeps_ = 0;
+}
+
+void DeltaApsp::sweep_row(const DiGraph& g, int r) {
+  const int src = sources_[static_cast<std::size_t>(r)];
+  int* row = &dist_(static_cast<std::size_t>(r), 0);
+  bfs_.distances(g, src, row);
+  std::int64_t sum = 0;
+  int unreach = 0;
+  for (int j = 0; j < n_; ++j) {
+    if (j == src) continue;
+    if (row[j] >= kUnreachable)
+      ++unreach;
+    else
+      sum += row[j];
+  }
+  hop_sum_ += sum - row_sum_[static_cast<std::size_t>(r)];
+  unreachable_ += unreach - row_unreach_[static_cast<std::size_t>(r)];
+  row_sum_[static_cast<std::size_t>(r)] = sum;
+  row_unreach_[static_cast<std::size_t>(r)] = unreach;
+  ++resweeps_;
+}
+
+void DeltaApsp::rebuild(const DiGraph& g) {
+  assert(g.num_nodes() == n_);
+  journal_.clear();
+  journal_rows_.clear();
+  pending_ = false;
+  const auto saved = resweeps_;  // rebuild sweeps are not "delta" work
+  for (int r = 0; r < num_sources(); ++r) sweep_row(g, r);
+  resweeps_ = saved;
+}
+
+int DeltaApsp::apply(const DiGraph& g, const EdgeChange* changes, int count) {
+  assert(g.num_nodes() == n_);
+  assert(!pending_ && "apply() without commit()/rollback()");
+  if (count <= 0) return 0;
+
+  // The surviving-predecessor filter for removals is only proven for the
+  // move shapes the annealer emits: at most one removed edge, or a
+  // symmetric twin pair {(u,v), (v,u)} (see header). Any other batch falls
+  // back to the plain on-some-shortest-path rule.
+  int removed = 0, r0 = -1, r1 = -1;
+  for (int c = 0; c < count; ++c) {
+    if (changes[c].added) continue;
+    (removed == 0 ? r0 : r1) = c;
+    ++removed;
+  }
+  const bool sharp =
+      removed <= 1 ||
+      (removed == 2 && changes[r0].u == changes[r1].v &&
+       changes[r0].v == changes[r1].u);
+
+  // Union of per-edit affected sets, detected against the pre-edit rows.
+  ++epoch_;
+  affected_.clear();
+  const int k = num_sources();
+  for (int c = 0; c < count; ++c) {
+    const int u = changes[c].u, v = changes[c].v;
+    const bool added = changes[c].added;
+    const auto& preds = g.in_neighbors(v);  // post-edit: u already absent
+    for (int r = 0; r < k; ++r) {
+      if (mark_[static_cast<std::size_t>(r)] == epoch_) continue;
+      const int du = dist_(static_cast<std::size_t>(r), u);
+      const int dv = dist_(static_cast<std::size_t>(r), v);
+      bool hit = added ? du + 1 < dv : du + 1 == dv;
+      if (hit && !added && sharp) {
+        for (const int p : preds) {
+          if (dist_(static_cast<std::size_t>(r), p) + 1 == dv) {
+            hit = false;  // equal-length surviving predecessor: row intact
+            break;
+          }
+        }
+      }
+      if (hit) {
+        mark_[static_cast<std::size_t>(r)] = epoch_;
+        affected_.push_back(r);
+      }
+    }
+  }
+  if (affected_.empty()) {
+    pending_ = true;  // an empty journal still satisfies commit()/rollback()
+    return 0;
+  }
+
+  // Journal the rows about to be overwritten, then re-sweep them on the
+  // post-edit graph.
+  for (const int r : affected_) {
+    journal_.push_back({r, row_sum_[static_cast<std::size_t>(r)],
+                        row_unreach_[static_cast<std::size_t>(r)]});
+    const int* row = &dist_(static_cast<std::size_t>(r), 0);
+    journal_rows_.insert(journal_rows_.end(), row, row + n_);
+    sweep_row(g, r);
+  }
+  pending_ = true;
+  return static_cast<int>(affected_.size());
+}
+
+void DeltaApsp::commit() {
+  assert(pending_);
+  journal_.clear();
+  journal_rows_.clear();
+  pending_ = false;
+}
+
+void DeltaApsp::rollback() {
+  assert(pending_);
+  for (std::size_t i = journal_.size(); i-- > 0;) {
+    const Saved& s = journal_[i];
+    hop_sum_ += s.sum - row_sum_[static_cast<std::size_t>(s.row)];
+    unreachable_ += s.unreach - row_unreach_[static_cast<std::size_t>(s.row)];
+    row_sum_[static_cast<std::size_t>(s.row)] = s.sum;
+    row_unreach_[static_cast<std::size_t>(s.row)] = s.unreach;
+    std::memcpy(&dist_(static_cast<std::size_t>(s.row), 0),
+                journal_rows_.data() + i * static_cast<std::size_t>(n_),
+                static_cast<std::size_t>(n_) * sizeof(int));
+  }
+  journal_.clear();
+  journal_rows_.clear();
+  pending_ = false;
+}
+
+}  // namespace netsmith::topo

@@ -1,0 +1,132 @@
+#pragma once
+// Delta-APSP: incrementally maintained BFS distance rows under single-edge
+// graph edits. This is what makes the synthesis hot loop sub-linear in n per
+// move at large scale: instead of re-running the full n-source APSP sweep
+// after every candidate move, only the rows whose BFS tree can have changed
+// are re-swept.
+//
+// Affected-source detection uses the maintained (pre-edit) distance matrix:
+//  - adding directed edge (u, v) can only change row s when it creates a
+//    shortcut, i.e. D(s,u) + 1 < D(s,v);
+//  - removing directed edge (u, v) can only change row s when the edge lies
+//    on some shortest path from s, i.e. D(s,u) + 1 == D(s,v), AND no other
+//    in-neighbor p of v survives with D(s,p) + 1 == D(s,v). A surviving
+//    equal-level predecessor proves the whole row unchanged: D(s,v) is still
+//    achieved via p (the s->p shortest path is one hop shorter than any walk
+//    through v or u->v, so it avoids the removed edge(s)), and every target
+//    whose shortest path crossed (u, v) reroutes s->p->v + old v-suffix at
+//    equal length. This predecessor filter is what keeps the affected
+//    fraction small on radix-bounded graphs, where most removed edges have
+//    equal-length siblings; it is proven for batches with at most one
+//    removed edge or a symmetric twin pair {(u,v), (v,u)} — the shapes the
+//    annealer emits — and apply() falls back to the plain on-some-shortest-
+//    path rule for any other batch.
+// For a batch of edits applied together (the annealer's remove+add rewire
+// move, doubled in symmetric mode), the union of the per-edit affected sets
+// — all evaluated against the pre-move matrix — is re-swept once on the
+// post-move graph. A minimal-counterexample argument shows this is exact:
+// an unaffected row keeps, for every target, a shortest path avoiding every
+// removed edge, and no combination of non-shortcut additions can shorten it.
+// Rows are therefore bit-identical to a from-scratch apsp_bfs at all times
+// (asserted under randomized edit sequences in tests/test_delta_apsp.cpp).
+//
+// Each apply() journals the previous contents of the re-swept rows, so a
+// rejected annealer move rolls back with a handful of row memcpys instead of
+// re-running BFS.
+//
+// The engine also powers landmark estimation: constructed with a subset of
+// sources it maintains only those rows (a k x n matrix), and hop_sum() over
+// the sample scaled by n/k estimates the full total — the annealer's cheap
+// move score at large n (exact re-scoring of incumbents stays with the
+// caller; see core/anneal.cpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/metrics.hpp"
+#include "util/matrix.hpp"
+
+namespace netsmith::topo {
+
+class DeltaApsp {
+ public:
+  // One directed-edge edit; `g` passed to apply() must already reflect it.
+  struct EdgeChange {
+    int u = 0, v = 0;
+    bool added = false;  // false = removed
+  };
+
+  DeltaApsp() = default;
+  // Full mode: one row per source, rows() is the complete APSP matrix.
+  explicit DeltaApsp(int n) { init(n); }
+  // Landmark mode: rows only for the listed sources (order preserved).
+  DeltaApsp(int n, std::vector<int> sources) { init(n, std::move(sources)); }
+
+  // Re-initialize, reusing existing storage where shapes match (the annealer
+  // hoists one engine per worker thread across restarts).
+  void init(int n);
+  void init(int n, std::vector<int> sources);
+
+  // Full sweep of every tracked row; discards any pending journal.
+  void rebuild(const DiGraph& g);
+
+  // Incremental update for a batch of edge edits already applied to g.
+  // Journals overwritten rows; returns the number of rows re-swept. A
+  // previous apply() must have been committed or rolled back first.
+  int apply(const DiGraph& g, const EdgeChange* changes, int count);
+
+  void commit();    // accept the last apply (drop the journal)
+  void rollback();  // undo the last apply (restore journaled rows)
+
+  // Aggregates over the tracked rows, maintained incrementally. hop_sum is
+  // the sum of finite distances; unreachable counts (source, target) pairs
+  // with no path (target != source).
+  std::int64_t hop_sum() const { return hop_sum_; }
+  long unreachable() const { return unreachable_; }
+
+  int num_nodes() const { return n_; }
+  int num_sources() const { return static_cast<int>(sources_.size()); }
+  bool full() const { return num_sources() == n_; }
+  const std::vector<int>& sources() const { return sources_; }
+
+  // k x n distance matrix; row r holds distances from sources()[r]. In full
+  // mode sources()[r] == r, so this is exactly apsp_bfs(g).
+  const util::Matrix<int>& rows() const { return dist_; }
+
+  // Cumulative rows re-swept by apply() since init (perf accounting: the
+  // full re-sweep equivalent is num_sources() per move).
+  std::int64_t resweeps() const { return resweeps_; }
+
+ private:
+  void sweep_row(const DiGraph& g, int r);
+
+  int n_ = 0;
+  std::vector<int> sources_;
+  util::Matrix<int> dist_;            // k x n
+  std::vector<std::int64_t> row_sum_; // finite distances per row
+  std::vector<int> row_unreach_;      // unreachable targets per row
+  std::int64_t hop_sum_ = 0;
+  long unreachable_ = 0;
+
+  BitBfs bfs_{0};
+
+  // Affected-set dedup across the edits of one apply().
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t epoch_ = 0;
+  std::vector<int> affected_;
+
+  // Journal of the last apply(): row payloads + aggregate deltas.
+  struct Saved {
+    int row;
+    std::int64_t sum;
+    int unreach;
+  };
+  std::vector<Saved> journal_;
+  std::vector<int> journal_rows_;  // concatenated old row contents
+  bool pending_ = false;
+
+  std::int64_t resweeps_ = 0;
+};
+
+}  // namespace netsmith::topo

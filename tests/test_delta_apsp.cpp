@@ -1,0 +1,243 @@
+// Delta-APSP correctness: under randomized single-edge and batched
+// (annealer-style rewire) edit sequences, the incrementally maintained
+// distance rows must stay bit-identical to a from-scratch apsp_bfs after
+// every commit AND every rollback, across the one-word/multi-word BitBfs
+// boundary. Landmark mode is checked against the same oracle restricted to
+// the sampled sources, and the landmark-scored annealer is checked to only
+// ever report exactly re-scored incumbents.
+
+#include "topo/delta_apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/anneal.hpp"
+#include "topo/builders.hpp"
+#include "topo/graph.hpp"
+#include "topo/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace netsmith::topo {
+namespace {
+
+DiGraph random_graph(int n, double p, util::Rng& rng) {
+  DiGraph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j && rng.bernoulli(p)) g.add_edge(i, j);
+  return g;
+}
+
+// Engine rows + maintained aggregates vs a from-scratch BFS oracle.
+::testing::AssertionResult matches_oracle(const DeltaApsp& e,
+                                          const DiGraph& g) {
+  const auto oracle = apsp_bfs(g);
+  std::int64_t sum = 0;
+  long unreach = 0;
+  for (int r = 0; r < e.num_sources(); ++r) {
+    const int s = e.sources()[static_cast<std::size_t>(r)];
+    for (int j = 0; j < e.num_nodes(); ++j) {
+      const int got = e.rows()(static_cast<std::size_t>(r),
+                               static_cast<std::size_t>(j));
+      const int want = oracle(static_cast<std::size_t>(s),
+                              static_cast<std::size_t>(j));
+      if (got != want)
+        return ::testing::AssertionFailure()
+               << "row for source " << s << ", target " << j << ": got " << got
+               << ", oracle " << want;
+      if (j == s) continue;
+      if (want >= kUnreachable)
+        ++unreach;
+      else
+        sum += want;
+    }
+  }
+  if (e.hop_sum() != sum)
+    return ::testing::AssertionFailure()
+           << "hop_sum " << e.hop_sum() << " != oracle " << sum;
+  if (e.unreachable() != unreach)
+    return ::testing::AssertionFailure()
+           << "unreachable " << e.unreachable() << " != oracle " << unreach;
+  return ::testing::AssertionSuccess();
+}
+
+// One annealer-style step: a batch of 1-2 random edits (remove and/or add),
+// applied to the graph and the engine, then committed or rolled back with
+// probability 1/2. Returns false if no edit was possible.
+bool random_step(DiGraph& g, DeltaApsp& e, util::Rng& rng) {
+  const int n = g.num_nodes();
+  std::vector<DeltaApsp::EdgeChange> changes;
+  const double r = rng.uniform();
+  if (r < 0.7 && g.num_directed_edges() > 0) {  // remove one existing edge
+    const auto edges = g.edges();
+    const auto [u, v] =
+        edges[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(edges.size()) - 1))];
+    g.remove_edge(u, v);
+    changes.push_back({u, v, false});
+  }
+  if (r >= 0.3) {  // add one absent edge (rewire when combined with a remove)
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const int u = static_cast<int>(rng.uniform_int(0, n - 1));
+      const int v = static_cast<int>(rng.uniform_int(0, n - 1));
+      if (u == v || g.has_edge(u, v)) continue;
+      g.add_edge(u, v);
+      changes.push_back({u, v, true});
+      break;
+    }
+  }
+  if (changes.empty()) return false;
+  e.apply(g, changes.data(), static_cast<int>(changes.size()));
+  if (rng.bernoulli(0.5)) {
+    e.commit();
+  } else {
+    e.rollback();
+    for (std::size_t i = changes.size(); i-- > 0;) {
+      if (changes[i].added)
+        g.remove_edge(changes[i].u, changes[i].v);
+      else
+        g.add_edge(changes[i].u, changes[i].v);
+    }
+  }
+  return true;
+}
+
+class DeltaApspRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaApspRandom, EditSequenceBitExactVsApsp) {
+  const int n = GetParam();
+  util::Rng rng(0xDE17A + n);
+  const int steps = n <= 65 ? 120 : 40;
+  const double densities[] = {1.5 / n, 3.0 / n, 0.2};
+  for (int d = 0; d < 3; ++d) {
+    DiGraph g = random_graph(n, densities[d], rng);
+    DeltaApsp e(n);
+    e.rebuild(g);
+    ASSERT_TRUE(matches_oracle(e, g)) << "n=" << n << " density#" << d;
+    for (int step = 0; step < steps; ++step) {
+      if (!random_step(g, e, rng)) continue;
+      ASSERT_TRUE(matches_oracle(e, g))
+          << "n=" << n << " density#" << d << " step=" << step;
+    }
+  }
+}
+
+TEST_P(DeltaApspRandom, LandmarkRowsBitExactVsApsp) {
+  const int n = GetParam();
+  if (n < 8) GTEST_SKIP() << "landmark sampling needs k < n headroom";
+  util::Rng rng(0x1A17D + n);
+  // A fixed sample of k = n/4 sources, including the boundary ids.
+  std::vector<int> sources{0, n - 1};
+  for (int s = 3; static_cast<int>(sources.size()) < std::max(3, n / 4);
+       s += 4)
+    sources.push_back(s);
+  DiGraph g = random_graph(n, 3.0 / n, rng);
+  DeltaApsp e(n, sources);
+  ASSERT_FALSE(e.full());
+  e.rebuild(g);
+  ASSERT_TRUE(matches_oracle(e, g));
+  for (int step = 0; step < 80; ++step) {
+    if (!random_step(g, e, rng)) continue;
+    ASSERT_TRUE(matches_oracle(e, g)) << "n=" << n << " step=" << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DeltaApspRandom,
+                         ::testing::Values(7, 48, 65, 130, 260));
+
+TEST(DeltaApsp, InitReusesStorageAcrossRestarts) {
+  util::Rng rng(0xC0FFEE);
+  DeltaApsp e(48);
+  for (int restart = 0; restart < 3; ++restart) {
+    DiGraph g = random_graph(48, 3.0 / 48, rng);
+    e.init(48);  // same shape: storage reused, state reset
+    e.rebuild(g);
+    EXPECT_EQ(e.resweeps(), 0);  // rebuild is not counted as delta work
+    for (int step = 0; step < 20; ++step) random_step(g, e, rng);
+    ASSERT_TRUE(matches_oracle(e, g)) << "restart=" << restart;
+  }
+}
+
+TEST(DeltaApsp, ResweepsFarBelowFullSweepEquivalent) {
+  // The point of the engine: per-move row re-sweeps must be a small fraction
+  // of n even on a sparse graph where single edits have wide blast radii.
+  const int n = 130;
+  util::Rng rng(0x5CA1E);
+  DiGraph g = random_graph(n, 3.0 / n, rng);
+  DeltaApsp e(n);
+  e.rebuild(g);
+  int applied = 0;
+  for (int step = 0; step < 200; ++step)
+    if (random_step(g, e, rng)) ++applied;
+  ASSERT_GT(applied, 0);
+  const double full_equiv = static_cast<double>(applied) * n;
+  EXPECT_LT(static_cast<double>(e.resweeps()), 0.5 * full_equiv)
+      << "resweeps=" << e.resweeps() << " over " << applied << " moves";
+}
+
+}  // namespace
+}  // namespace topo
+
+// --- Landmark-scored annealing: incumbents must be exact -------------------
+
+namespace netsmith::core {
+namespace {
+
+SynthesisConfig scale_cfg(Objective obj, int rows, int cols) {
+  SynthesisConfig cfg;
+  cfg.layout = topo::Layout{rows, cols, 2.0};
+  cfg.link_class = topo::LinkClass::kMedium;
+  cfg.radix = 4;
+  cfg.objective = obj;
+  cfg.time_limit_s = 60.0;  // move budget terminates first
+  cfg.restarts = 2;
+  cfg.seed = 23;
+  return cfg;
+}
+
+TEST(LandmarkAnneal, IncumbentObjectiveIsExact) {
+  const auto cfg = scale_cfg(Objective::kLatOp, 8, 6);
+  AnnealOptions ao;
+  ao.max_moves = 4000;
+  ao.landmark_sources = 12;
+  const auto r = anneal_synthesize(cfg, ao);
+  // The estimate only steers: the reported objective must equal the exact
+  // average hops of the returned graph to the last bit, and the incumbent
+  // path must actually have taken the exact-re-score branch.
+  EXPECT_EQ(r.objective_value, topo::average_hops(r.graph));
+  EXPECT_TRUE(topo::strongly_connected(r.graph));
+  EXPECT_GT(r.exact_rescores, 0);
+}
+
+TEST(LandmarkAnneal, ParallelRestartsBitExact) {
+  const auto cfg = scale_cfg(Objective::kLatOp, 8, 6);
+  AnnealOptions serial;
+  serial.max_moves = 3000;
+  serial.landmark_sources = 12;
+  serial.threads = 1;
+  AnnealOptions parallel = serial;
+  parallel.threads = 4;
+  const auto a = anneal_synthesize(cfg, serial);
+  const auto b = anneal_synthesize(cfg, parallel);
+  EXPECT_TRUE(a.graph == b.graph);
+  EXPECT_EQ(a.objective_value, b.objective_value);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.apsp_resweeps, b.apsp_resweeps);
+  EXPECT_EQ(a.exact_rescores, b.exact_rescores);
+}
+
+TEST(LandmarkAnneal, FullModeReportsResweepAccounting) {
+  const auto cfg = scale_cfg(Objective::kLatOp, 2, 3);
+  AnnealOptions ao;
+  ao.max_moves = 1500;
+  const auto r = anneal_synthesize(cfg, ao);
+  EXPECT_GT(r.apsp_resweeps, 0);
+  EXPECT_EQ(r.exact_rescores, 0);  // no landmark mode, no re-score path
+}
+
+}  // namespace
+}  // namespace netsmith::core
