@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
 
   // 4. The full report (spec + provenance + rows) serializes to JSON.
   std::printf("\nReport is %zu bytes of schema-versioned JSON (schema %d).\n",
-              api::report_to_json(report).size(), api::kReportSchemaVersion);
+              api::report_to_json(report).size(),
+              api::report_schema_version(report));
   return 0;
 }

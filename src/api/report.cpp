@@ -90,6 +90,54 @@ JsonValue to_json(const SweepRow& s) {
   return o;
 }
 
+JsonValue to_json(const ResilienceRow& r) {
+  JsonValue o = JsonValue::object();
+  o.set("plan", JsonValue::integer(r.plan));
+  o.set("traffic", JsonValue::string(r.traffic));
+  o.set("scenario", JsonValue::string(r.scenario));
+  o.set("key", JsonValue::string(r.key));
+  o.set("events", JsonValue::integer(r.events));
+  o.set("links_down", JsonValue::integer(r.links_down));
+  o.set("routers_down", JsonValue::integer(r.routers_down));
+  o.set("lossy", JsonValue::boolean(r.lossy));
+  o.set("repair", JsonValue::boolean(r.repair));
+  o.set("flows_rerouted", JsonValue::integer(r.flows_rerouted));
+  o.set("flows_unroutable", JsonValue::integer(r.flows_unroutable));
+  o.set("saturation_pkt_node_cycle",
+        JsonValue::number(r.saturation_pkt_node_cycle));
+  o.set("saturation_pkt_node_ns", JsonValue::number(r.saturation_pkt_node_ns));
+  o.set("baseline_saturation_pkt_node_cycle",
+        JsonValue::number(r.baseline_saturation_pkt_node_cycle));
+  o.set("baseline_saturation_pkt_node_ns",
+        JsonValue::number(r.baseline_saturation_pkt_node_ns));
+  JsonValue points = JsonValue::array();
+  for (const auto& pt : r.points) {
+    JsonValue p = JsonValue::object();
+    p.set("offered_pkt_node_cycle",
+          JsonValue::number(pt.offered_pkt_node_cycle));
+    p.set("accepted_pkt_node_cycle",
+          JsonValue::number(pt.accepted_pkt_node_cycle));
+    p.set("delivered_fraction", JsonValue::number(pt.delivered_fraction));
+    p.set("latency_p50_cycles", JsonValue::number(pt.latency_p50_cycles));
+    p.set("latency_p99_cycles", JsonValue::number(pt.latency_p99_cycles));
+    p.set("flits_dropped", JsonValue::integer(pt.flits_dropped));
+    p.set("packets_dropped", JsonValue::integer(pt.packets_dropped));
+    p.set("packets_unroutable", JsonValue::integer(pt.packets_unroutable));
+    p.set("saturated", JsonValue::boolean(pt.saturated));
+    points.push_back(std::move(p));
+  }
+  o.set("points", std::move(points));
+  return o;
+}
+
+JsonValue to_json(const FailedJob& f) {
+  JsonValue o = JsonValue::object();
+  o.set("job", JsonValue::string(f.job));
+  o.set("reason", JsonValue::string(f.reason));
+  o.set("skipped", JsonValue::boolean(f.skipped));
+  return o;
+}
+
 JsonValue to_json(const PowerRow& p) {
   JsonValue o = JsonValue::object();
   o.set("topology", JsonValue::integer(p.topology));
@@ -112,26 +160,44 @@ JsonValue to_json(const StudyStats& s) {
   o.set("plan_cache_hits", JsonValue::integer(s.plan_cache_hits));
   o.set("sweep_jobs", JsonValue::integer(s.sweep_jobs));
   o.set("power_jobs", JsonValue::integer(s.power_jobs));
+  // v3 counters: keyed only when used, so a fault-free, fully-successful
+  // study's stats block is byte-identical with schema-v2 builds.
+  if (s.resilience_jobs > 0)
+    o.set("resilience_jobs", JsonValue::integer(s.resilience_jobs));
+  if (s.failed_jobs > 0)
+    o.set("failed_jobs", JsonValue::integer(s.failed_jobs));
   o.set("jobs_total", JsonValue::integer(s.jobs_total));
   return o;
 }
 
 }  // namespace
 
+int report_schema_version(const Report& report) {
+  return report.resilience.empty() && report.failed_jobs.empty()
+             ? kReportSchemaVersion - 1
+             : kReportSchemaVersion;
+}
+
 std::string report_to_json(const Report& report) {
   JsonValue o = JsonValue::object();
-  o.set("schema_version", JsonValue::integer(kReportSchemaVersion));
+  o.set("schema_version", JsonValue::integer(report_schema_version(report)));
   o.set("name", JsonValue::string(report.spec.name));
   o.set("spec", spec_to_json(report.spec));
 
   JsonValue prov = JsonValue::object();
-  prov.set("spec_schema_version", JsonValue::integer(kSpecSchemaVersion));
+  prov.set("spec_schema_version",
+           JsonValue::integer(spec_schema_version(report.spec)));
   prov.set("omp_max_threads", JsonValue::integer(report.omp_max_threads));
   JsonValue seeds = JsonValue::array();
   for (auto s : report.spec.seeds)
     seeds.push_back(JsonValue::integer(static_cast<long long>(s)));
   prov.set("seeds", std::move(seeds));
   prov.set("jobs", to_json(report.stats));
+  if (!report.failed_jobs.empty()) {
+    JsonValue failed = JsonValue::array();
+    for (const auto& f : report.failed_jobs) failed.push_back(to_json(f));
+    prov.set("failed_jobs", std::move(failed));
+  }
   o.set("provenance", std::move(prov));
 
   JsonValue topos = JsonValue::array();
@@ -143,6 +209,11 @@ std::string report_to_json(const Report& report) {
   JsonValue sweeps = JsonValue::array();
   for (const auto& s : report.sweeps) sweeps.push_back(to_json(s));
   o.set("sweeps", std::move(sweeps));
+  if (!report.resilience.empty()) {
+    JsonValue resil = JsonValue::array();
+    for (const auto& r : report.resilience) resil.push_back(to_json(r));
+    o.set("resilience", std::move(resil));
+  }
   JsonValue power = JsonValue::array();
   for (const auto& p : report.power) power.push_back(to_json(p));
   o.set("power", std::move(power));

@@ -20,7 +20,11 @@ namespace netsmith::api {
 
 // v2: adds the top-level "metrics" block (obs registry snapshot; empty
 // object unless the study ran with metrics collection enabled).
-inline constexpr int kReportSchemaVersion = 2;
+// v3: adds the "resilience" row set and the "failed_jobs" provenance list.
+// Both are emitted only when non-empty, and a report using neither is
+// stamped v2 (see report_schema_version(const Report&)), so fault-free
+// studies stay byte-identical with pre-fault builds.
+inline constexpr int kReportSchemaVersion = 3;
 
 // One expanded topology grid entry (spec order; duplicates share cache keys).
 struct TopologyRow {
@@ -88,6 +92,51 @@ struct SweepRow {
   std::vector<SweepPointRow> points;
 };
 
+// One injection point of a resilience sweep (fault-afflicted simulation).
+struct ResiliencePointRow {
+  double offered_pkt_node_cycle = 0.0;
+  double accepted_pkt_node_cycle = 0.0;
+  double delivered_fraction = 1.0;   // packets ejected / packets injected
+  double latency_p50_cycles = 0.0;   // tagged delivered packets
+  double latency_p99_cycles = 0.0;
+  long flits_dropped = 0;    // lossy scenarios: purged by link failures
+  long packets_dropped = 0;
+  long packets_unroutable = 0;  // offered to flows with no surviving route
+  bool saturated = false;
+};
+
+// One resilience grid entry: plan row x traffic scenario x fault scenario.
+// `saturation_*` under faults vs the fault-free `baseline_saturation_*` of
+// the same (plan, traffic) sweep quantifies the degradation shift.
+struct ResilienceRow {
+  int plan = 0;          // index into Report::plans
+  std::string traffic;   // TrafficSpec label
+  std::string scenario;  // FaultScenarioSpec label
+  std::string key;       // scenario canonical key (cache/provenance)
+  // Expanded schedule summary (FaultPlan).
+  int events = 0;
+  int links_down = 0;    // peak concurrent directed-edge failures
+  int routers_down = 0;
+  bool lossy = false;
+  bool repair = true;
+  int flows_rerouted = 0;
+  int flows_unroutable = 0;
+  double saturation_pkt_node_cycle = 0.0;
+  double saturation_pkt_node_ns = 0.0;
+  double baseline_saturation_pkt_node_cycle = 0.0;
+  double baseline_saturation_pkt_node_ns = 0.0;
+  std::vector<ResiliencePointRow> points;
+};
+
+// One job that threw (reason = the exception message) or was skipped because
+// a dependency failed. Provenance: a report listing these is partial — rows
+// whose producing job appears here hold default values.
+struct FailedJob {
+  std::string job;     // "kind:artifact key" label
+  std::string reason;
+  bool skipped = false;  // true = never ran (upstream failure)
+};
+
 struct PowerRow {
   int topology = 0;  // index into Report::topologies
   double dynamic_mw = 0.0;
@@ -108,6 +157,10 @@ struct StudyStats {
   int plan_cache_hits = 0;
   int sweep_jobs = 0;  // unique (plan, traffic) simulations executed
   int power_jobs = 0;
+  // v3 counters, serialized only when non-zero (fault-free studies keep the
+  // v2 stats block byte-identical).
+  int resilience_jobs = 0;  // (plan, traffic, fault scenario) simulations
+  int failed_jobs = 0;      // jobs that threw or were skipped
   int jobs_total = 0;  // DAG nodes executed
 };
 
@@ -116,7 +169,9 @@ struct Report {
   std::vector<TopologyRow> topologies;
   std::vector<PlanRow> plans;
   std::vector<SweepRow> sweeps;
+  std::vector<ResilienceRow> resilience;
   std::vector<PowerRow> power;
+  std::vector<FailedJob> failed_jobs;
   StudyStats stats;
   int omp_max_threads = 1;
   // obs registry snapshot (obs::metrics_to_json form) captured at assembly
@@ -124,6 +179,10 @@ struct Report {
   // entries vary run to run, so determinism tests run with metrics off.
   util::JsonValue metrics;
 };
+
+// Schema version a serialization of `report` carries: v2 until the report
+// uses a v3 feature (resilience rows or failed jobs).
+int report_schema_version(const Report& report);
 
 // Schema-stamped JSON document (trailing newline, deterministic field
 // order). The "spec" member is api::serialize's DOM form.

@@ -133,11 +133,44 @@ JsonValue to_json(const PowerSpec& p) {
   return o;
 }
 
+JsonValue to_json(const fault::FaultEvent& e) {
+  JsonValue o = JsonValue::object();
+  o.set("cycle", JsonValue::integer(e.cycle));
+  o.set("kind", JsonValue::string(fault::to_string(e.kind)));
+  o.set("a", JsonValue::integer(e.a));
+  o.set("b", JsonValue::integer(e.b));
+  return o;
+}
+
+JsonValue to_json(const fault::FaultScenarioSpec& f) {
+  JsonValue o = JsonValue::object();
+  o.set("name", JsonValue::string(f.name));
+  o.set("mode", JsonValue::string(f.mode));
+  o.set("k", JsonValue::integer(f.k));
+  o.set("fail_at", JsonValue::integer(f.fail_at));
+  o.set("recover_at", JsonValue::integer(f.recover_at));
+  o.set("link_mtbf", JsonValue::number(f.link_mtbf));
+  o.set("link_mttr", JsonValue::number(f.link_mttr));
+  o.set("router_mtbf", JsonValue::number(f.router_mtbf));
+  o.set("router_mttr", JsonValue::number(f.router_mttr));
+  o.set("seed", JsonValue::integer(static_cast<long long>(f.seed)));
+  o.set("lossy", JsonValue::boolean(f.lossy));
+  o.set("repair", JsonValue::boolean(f.repair));
+  JsonValue events = JsonValue::array();
+  for (const auto& e : f.events) events.push_back(to_json(e));
+  o.set("events", std::move(events));
+  return o;
+}
+
 }  // namespace
+
+int spec_schema_version(const ExperimentSpec& spec) {
+  return spec.faults.empty() ? kSpecMinSchemaVersion : kSpecSchemaVersion;
+}
 
 JsonValue spec_to_json(const ExperimentSpec& spec) {
   JsonValue o = JsonValue::object();
-  o.set("schema_version", JsonValue::integer(kSpecSchemaVersion));
+  o.set("schema_version", JsonValue::integer(spec_schema_version(spec)));
   o.set("name", JsonValue::string(spec.name));
   JsonValue topos = JsonValue::array();
   for (const auto& t : spec.topologies) topos.push_back(to_json(t));
@@ -156,6 +189,14 @@ JsonValue spec_to_json(const ExperimentSpec& spec) {
   o.set("traffic", std::move(traffic));
   o.set("sweep", to_json(spec.sweep));
   o.set("power", to_json(spec.power));
+  // v2 key, emitted only when used: a faultless spec keeps the exact v1
+  // byte layout (reports embed specs verbatim, so this preserves report
+  // bytes too).
+  if (!spec.faults.empty()) {
+    JsonValue faults = JsonValue::array();
+    for (const auto& f : spec.faults) faults.push_back(to_json(f));
+    o.set("faults", std::move(faults));
+  }
   o.set("threads", JsonValue::integer(spec.threads));
   return o;
 }
@@ -185,23 +226,36 @@ class ObjReader {
 
   long long get_int(const std::string& key, long long def) {
     const JsonValue* v = take(key);
-    return v ? v->as_int() : def;
+    return v ? typed(key, [&] { return v->as_int(); }) : def;
   }
   std::uint64_t get_u64(const std::string& key, std::uint64_t def) {
     const JsonValue* v = take(key);
-    return v ? v->as_u64() : def;
+    return v ? typed(key, [&] { return v->as_u64(); }) : def;
   }
   double get_double(const std::string& key, double def) {
     const JsonValue* v = take(key);
-    return v ? v->as_double() : def;
+    return v ? typed(key, [&] { return v->as_double(); }) : def;
   }
   bool get_bool(const std::string& key, bool def) {
     const JsonValue* v = take(key);
-    return v ? v->as_bool() : def;
+    return v ? typed(key, [&] { return v->as_bool(); }) : def;
   }
   std::string get_string(const std::string& key, const std::string& def) {
     const JsonValue* v = take(key);
-    return v ? v->as_string() : def;
+    return v ? typed(key, [&] { return v->as_string(); }) : def;
+  }
+
+  // Wraps a type-mismatched value in an error naming the full path to the
+  // bad key, so "spec: bad value for 'warmup' in sweep" instead of a bare
+  // json type error.
+  template <class Fn>
+  auto typed(const std::string& key, Fn fn) -> decltype(fn()) {
+    try {
+      return fn();
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("spec: bad value for '" + key + "' in " +
+                                  where_ + ": " + e.what());
+    }
   }
 
   void finish() const {
@@ -256,6 +310,20 @@ TopologySpec parse_topology(const JsonValue& v, int index) {
       static_cast<int>(r.get_int("landmark_sources", t.landmark_sources));
   r.finish();
 
+  // Range checks: reject values no synthesis/catalog run can honour.
+  if (t.radix < 1)
+    throw std::invalid_argument("spec: radix must be >= 1 in topologies[" +
+                                std::to_string(index) + "]");
+  if (t.restarts < 1)
+    throw std::invalid_argument("spec: restarts must be >= 1 in topologies[" +
+                                std::to_string(index) + "]");
+  if (t.time_limit_s < 0 || t.max_moves < 0 || t.landmark_sources < 0 ||
+      t.min_cut_bandwidth < 0 || t.diameter_bound < 0)
+    throw std::invalid_argument(
+        "spec: time_limit_s, max_moves, landmark_sources, min_cut_bandwidth "
+        "and diameter_bound must be >= 0 in topologies[" +
+        std::to_string(index) + "]");
+
   // Per-source structural validation.
   switch (t.source) {
     case TopologySource::kBaseline:
@@ -297,6 +365,14 @@ TrafficSpec parse_traffic(const JsonValue& v, int index) {
   t.data_flits = static_cast<int>(r.get_int("data_flits", t.data_flits));
   t.data_fraction = r.get_double("data_fraction", t.data_fraction);
   r.finish();
+  if (t.ctrl_flits < 1 || t.data_flits < 1)
+    throw std::invalid_argument(
+        "spec: ctrl_flits and data_flits must be >= 1 in traffic[" +
+        std::to_string(index) + "]");
+  if (t.data_fraction < 0.0 || t.data_fraction > 1.0)
+    throw std::invalid_argument(
+        "spec: data_fraction must be in [0, 1] in traffic[" +
+        std::to_string(index) + "]");
   return t;
 }
 
@@ -318,6 +394,20 @@ SweepSpec parse_sweep(const JsonValue& v) {
   r.finish();
   if (s.points <= 0)
     throw std::invalid_argument("spec: sweep.points must be positive");
+  if (s.measure <= 0)
+    throw std::invalid_argument("spec: sweep.measure must be positive");
+  if (s.warmup < 0 || s.drain < 0)
+    throw std::invalid_argument("spec: sweep.warmup and sweep.drain must be >= 0");
+  if (s.max_rate < 0)
+    throw std::invalid_argument("spec: sweep.max_rate must be >= 0");
+  if (s.buf_flits < 1 || s.io_flits_per_cycle < 1)
+    throw std::invalid_argument(
+        "spec: sweep.buf_flits and sweep.io_flits_per_cycle must be >= 1");
+  if (s.router_delay < 0 || s.link_delay < 0 ||
+      s.router_delay + s.link_delay < 1)
+    throw std::invalid_argument(
+        "spec: sweep.router_delay and sweep.link_delay must be >= 0 and sum "
+        "to >= 1");
   return s;
 }
 
@@ -331,16 +421,78 @@ PowerSpec parse_power(const JsonValue& v) {
   return p;
 }
 
+fault::FaultEvent parse_fault_event(const JsonValue& v, const std::string& at) {
+  fault::FaultEvent e;
+  ObjReader r(v, at);
+  e.cycle = r.get_int("cycle", e.cycle);
+  e.kind = fault::fault_event_kind_from_string(
+      r.get_string("kind", fault::to_string(e.kind)));
+  e.a = static_cast<int>(r.get_int("a", e.a));
+  e.b = static_cast<int>(r.get_int("b", e.b));
+  r.finish();
+  if (e.cycle < 0)
+    throw std::invalid_argument("spec: event cycle must be >= 0 in " + at);
+  const bool link = e.kind == fault::FaultEventKind::kLinkDown ||
+                    e.kind == fault::FaultEventKind::kLinkUp;
+  if (e.a < 0 || (link && e.b < 0))
+    throw std::invalid_argument(
+        "spec: event endpoints must name routers (a" +
+        std::string(link ? " and b" : "") + " >= 0) in " + at);
+  return e;
+}
+
+fault::FaultScenarioSpec parse_fault_scenario(const JsonValue& v, int index) {
+  fault::FaultScenarioSpec f;
+  const std::string at = "faults[" + std::to_string(index) + "]";
+  ObjReader r(v, at);
+  f.name = r.get_string("name", f.name);
+  f.mode = r.get_string("mode", f.mode);
+  if (f.mode != "targeted" && f.mode != "random" && f.mode != "explicit")
+    throw std::invalid_argument(
+        "spec: mode must be targeted|random|explicit in " + at);
+  f.k = static_cast<int>(r.get_int("k", f.k));
+  f.fail_at = r.get_int("fail_at", f.fail_at);
+  f.recover_at = r.get_int("recover_at", f.recover_at);
+  f.link_mtbf = r.get_double("link_mtbf", f.link_mtbf);
+  f.link_mttr = r.get_double("link_mttr", f.link_mttr);
+  f.router_mtbf = r.get_double("router_mtbf", f.router_mtbf);
+  f.router_mttr = r.get_double("router_mttr", f.router_mttr);
+  f.seed = r.get_u64("seed", f.seed);
+  f.lossy = r.get_bool("lossy", f.lossy);
+  f.repair = r.get_bool("repair", f.repair);
+  if (const JsonValue* events = r.take("events")) {
+    int i = 0;
+    for (const auto& e : events->items())
+      f.events.push_back(
+          parse_fault_event(e, at + ".events[" + std::to_string(i++) + "]"));
+  }
+  r.finish();
+  if (f.k < 0)
+    throw std::invalid_argument("spec: k must be >= 0 in " + at);
+  if (f.fail_at < 0)
+    throw std::invalid_argument("spec: fail_at must be >= 0 in " + at);
+  if (f.recover_at >= 0 && f.recover_at <= f.fail_at)
+    throw std::invalid_argument(
+        "spec: recover_at must be > fail_at (or < 0 for permanent) in " + at);
+  if (f.link_mtbf < 0 || f.link_mttr < 0 || f.router_mtbf < 0 ||
+      f.router_mttr < 0)
+    throw std::invalid_argument("spec: MTBF/MTTR must be >= 0 in " + at);
+  if (f.mode == "explicit" && f.events.empty())
+    throw std::invalid_argument("spec: explicit mode needs events in " + at);
+  return f;
+}
+
 }  // namespace
 
 ExperimentSpec spec_from_json(const JsonValue& root) {
   ExperimentSpec spec;
   ObjReader r(root, "spec");
   const long long schema = r.get_int("schema_version", kSpecSchemaVersion);
-  if (schema != kSpecSchemaVersion)
+  if (schema < kSpecMinSchemaVersion || schema > kSpecSchemaVersion)
     throw std::invalid_argument(
         "spec: schema_version " + std::to_string(schema) +
         " unsupported (this build speaks " +
+        std::to_string(kSpecMinSchemaVersion) + ".." +
         std::to_string(kSpecSchemaVersion) + ")");
   spec.name = r.get_string("name", spec.name);
   if (const JsonValue* topos = r.take("topologies")) {
@@ -372,11 +524,18 @@ ExperimentSpec spec_from_json(const JsonValue& root) {
   }
   if (const JsonValue* sweep = r.take("sweep")) spec.sweep = parse_sweep(*sweep);
   if (const JsonValue* power = r.take("power")) spec.power = parse_power(*power);
+  if (const JsonValue* faults = r.take("faults")) {
+    int i = 0;
+    for (const auto& f : faults->items())
+      spec.faults.push_back(parse_fault_scenario(f, i++));
+  }
   spec.threads = static_cast<int>(r.get_int("threads", spec.threads));
   r.finish();
   if (spec.num_vcs < 1 || spec.max_paths_per_flow < 1)
     throw std::invalid_argument(
         "spec: num_vcs and max_paths_per_flow must be positive");
+  if (spec.threads < 0)
+    throw std::invalid_argument("spec: threads must be >= 0");
   return spec;
 }
 

@@ -14,13 +14,19 @@
 #include <vector>
 
 #include "core/netsmith.hpp"
+#include "fault/model.hpp"
 #include "sim/network.hpp"
 #include "sim/sweep.hpp"
 #include "util/json.hpp"
 
 namespace netsmith::api {
 
-inline constexpr int kSpecSchemaVersion = 1;
+// v2 added the `faults` block. Serialization stamps v1 when the block is
+// empty (see spec_schema_version), so faultless specs — and the reports
+// embedding them — stay byte-identical with pre-fault builds; the parser
+// accepts both versions.
+inline constexpr int kSpecSchemaVersion = 2;
+inline constexpr int kSpecMinSchemaVersion = 1;
 
 // --------------------------------------------------------------- topology --
 
@@ -139,6 +145,12 @@ struct ExperimentSpec {
   SweepSpec sweep;
   PowerSpec power;
 
+  // Resilience scenarios (fault/model.hpp): each entry evaluates every
+  // plan x traffic combination under that fault schedule, adding rows to the
+  // Report's `resilience` block. Empty = no fault evaluation (and the spec
+  // serializes exactly as schema v1 did).
+  std::vector<fault::FaultScenarioSpec> faults;
+
   // Study thread-pool width (0 = hardware concurrency). Not part of the
   // result: reports are identical across thread counts.
   int threads = 0;
@@ -147,6 +159,10 @@ struct ExperimentSpec {
 };
 
 // ------------------------------------------------------------------- JSON --
+
+// Schema version a serialization of `spec` carries: v1 until the spec uses
+// a v2 feature (a non-empty faults block).
+int spec_schema_version(const ExperimentSpec& spec);
 
 // Serializes with every field present (canonical full form), schema-stamped.
 std::string serialize(const ExperimentSpec& spec);

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "core/objective.hpp"
+#include "fault/model.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,15 +37,18 @@ std::string fmt_double(double v) {
 
 struct Job {
   std::function<void()> fn;
+  std::string label;  // "kind:artifact key", for failure provenance
   std::vector<int> dependents;
   int pending = 0;  // unmet dependency count
   bool skip = false;
+  std::string skip_reason;
   std::exception_ptr error;
 };
 
 // Runs the DAG on `width` workers. Jobs become ready as dependencies finish;
-// a failed dependency skips its downstream jobs. The first error (by job
-// index) is rethrown after the DAG drains.
+// a failed dependency skips its downstream jobs (recording which dependency
+// failed). Never throws: errors stay on the jobs for the caller to collect —
+// a failed job degrades the report, it does not abort the study.
 void run_dag(std::vector<Job>& jobs, int width) {
   std::mutex m;
   std::condition_variable cv;
@@ -72,7 +76,11 @@ void run_dag(std::vector<Job>& jobs, int width) {
       --remaining;
       const bool failed = jobs[id].skip || jobs[id].error != nullptr;
       for (int d : jobs[id].dependents) {
-        if (failed) jobs[d].skip = true;
+        if (failed && !jobs[d].skip) {
+          jobs[d].skip = true;
+          jobs[d].skip_reason = "dependency '" + jobs[id].label + "' " +
+                                (jobs[id].error ? "failed" : "was skipped");
+        }
         if (--jobs[d].pending == 0) ready.push_back(d);
       }
       cv.notify_all();
@@ -83,8 +91,16 @@ void run_dag(std::vector<Job>& jobs, int width) {
   pool.reserve(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
-  for (auto& j : jobs)
-    if (j.error) std::rethrow_exception(j.error);
+}
+
+std::string error_message(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown error";
+  }
 }
 
 }  // namespace
@@ -285,8 +301,25 @@ void Study::expand() {
   }
   stats_.sweep_jobs = static_cast<int>(usweeps_.size());
   stats_.power_jobs = spec_.power.enabled ? stats_.unique_topologies : 0;
+
+  // Resilience: unique plans x traffic x fault scenarios, dense grid.
+  const int C = static_cast<int>(spec_.faults.size());
+  for (int p = 0; p < stats_.unique_plans; ++p) {
+    for (int t = 0; t < T; ++t) {
+      for (int c = 0; c < C; ++c) {
+        UResilience r;
+        r.plan = p;
+        r.traffic = t;
+        r.scenario = c;
+        uresil_.push_back(std::move(r));
+      }
+    }
+  }
+  stats_.resilience_jobs = static_cast<int>(uresil_.size());
+
   stats_.jobs_total = stats_.unique_topologies + stats_.unique_plans +
-                      stats_.sweep_jobs + stats_.power_jobs;
+                      stats_.sweep_jobs + stats_.power_jobs +
+                      stats_.resilience_jobs;
   upower_.assign(static_cast<std::size_t>(utopos_.size()), power::PowerArea{});
 }
 
@@ -339,18 +372,11 @@ void Study::run_plan_job(PlanArtifact& p) {
   }
 }
 
-void Study::run_sweep_job(USweep& s) {
-  const auto& p = uplans_[static_cast<std::size_t>(s.plan)];
-  const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
-  const auto& ts = spec_.traffic[static_cast<std::size_t>(s.traffic)];
-
-  sim::SimConfig cfg = make_sim_config(spec_);
-  cfg.extra_edge_delay =
-      p.has_system ? p.system.extra_delay : t.topo.extra_edge_delay;
-  const double clock = topo::clock_ghz(t.topo.link_class);
-
+sim::TrafficConfig Study::traffic_for(const PlanArtifact& p,
+                                      const TopologyArtifact& t,
+                                      const TrafficSpec& ts,
+                                      double& max_override) const {
   sim::TrafficConfig traffic;
-  double max_override = spec_.sweep.max_rate;
   if (ts.kind == "tornado") {
     const auto pattern = core::tornado_pattern(p.plan.graph.num_nodes());
     traffic = sim::traffic_from_pattern(pattern, /*injection_rate=*/0.01);
@@ -376,10 +402,53 @@ void Study::run_sweep_job(USweep& s) {
   traffic.ctrl_flits = ts.ctrl_flits;
   traffic.data_flits = ts.data_flits;
   traffic.data_fraction = ts.data_fraction;
+  return traffic;
+}
+
+void Study::run_sweep_job(USweep& s) {
+  const auto& p = uplans_[static_cast<std::size_t>(s.plan)];
+  const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
+  const auto& ts = spec_.traffic[static_cast<std::size_t>(s.traffic)];
+
+  sim::SimConfig cfg = make_sim_config(spec_);
+  cfg.extra_edge_delay =
+      p.has_system ? p.system.extra_delay : t.topo.extra_edge_delay;
+  const double clock = topo::clock_ghz(t.topo.link_class);
+
+  double max_override = spec_.sweep.max_rate;
+  const sim::TrafficConfig traffic = traffic_for(p, t, ts, max_override);
 
   sim::SweepOptions opt;
   opt.adaptive = spec_.sweep.adaptive;
   s.result = sim::sweep_to_saturation(p.plan, traffic, cfg, clock,
+                                      spec_.sweep.points, max_override, opt);
+}
+
+void Study::run_resilience_job(UResilience& r) {
+  const auto& p = uplans_[static_cast<std::size_t>(r.plan)];
+  const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
+  const auto& ts = spec_.traffic[static_cast<std::size_t>(r.traffic)];
+  const auto& sc = spec_.faults[static_cast<std::size_t>(r.scenario)];
+
+  sim::SimConfig cfg = make_sim_config(spec_);
+  cfg.extra_edge_delay =
+      p.has_system ? p.system.extra_delay : t.topo.extra_edge_delay;
+  const double clock = topo::clock_ghz(t.topo.link_class);
+
+  // Expand the scenario against this plan. Throws on invalid explicit events
+  // or repairs exceeding the VC budget; run_dag records the job as failed.
+  const long horizon = cfg.warmup + cfg.measure + cfg.drain;
+  r.fplan = fault::prepare_fault_plan(p.plan, sc, horizon);
+  cfg.faults = &r.fplan;
+
+  double max_override = spec_.sweep.max_rate;
+  const sim::TrafficConfig traffic = traffic_for(p, t, ts, max_override);
+
+  sim::SweepOptions opt;
+  // Adaptive truncation depends on the OpenMP wave size; resilience rows
+  // promise byte-identical results across widths, so it is always off here.
+  opt.adaptive = false;
+  r.result = sim::sweep_to_saturation(p.plan, traffic, cfg, clock,
                                       spec_.sweep.points, max_override, opt);
 }
 
@@ -405,15 +474,20 @@ void Study::run_jobs() {
     busy_us.fetch_add(static_cast<long long>(obs::now_us() - t0),
                       std::memory_order_relaxed);
   };
-  // Job ids: [0, UT) topologies, [UT, UT+UP) plans, then sweeps, then power.
-  for (int i = 0; i < UT; ++i)
-    jobs[static_cast<std::size_t>(i)].fn = [this, i, &timed] {
+  // Job ids: [0, UT) topologies, [UT, UT+UP) plans, then sweeps, then power,
+  // then resilience.
+  for (int i = 0; i < UT; ++i) {
+    auto& j = jobs[static_cast<std::size_t>(i)];
+    j.label = "topology:" + utopos_[static_cast<std::size_t>(i)].key;
+    j.fn = [this, i, &timed] {
       timed("study/topology", i, [&] {
         run_topology_job(utopos_[static_cast<std::size_t>(i)]);
       });
     };
+  }
   for (int i = 0; i < UP; ++i) {
     auto& j = jobs[static_cast<std::size_t>(UT + i)];
+    j.label = "plan:" + uplans_[static_cast<std::size_t>(i)].key;
     j.fn = [this, i, &timed] {
       timed("study/plan", i,
             [&] { run_plan_job(uplans_[static_cast<std::size_t>(i)]); });
@@ -424,6 +498,9 @@ void Study::run_jobs() {
   }
   for (int i = 0; i < US; ++i) {
     auto& j = jobs[static_cast<std::size_t>(UT + UP + i)];
+    const auto& s = usweeps_[static_cast<std::size_t>(i)];
+    j.label = "sweep:" + uplans_[static_cast<std::size_t>(s.plan)].key + "+" +
+              spec_.traffic[static_cast<std::size_t>(s.traffic)].label();
     j.fn = [this, i, &timed] {
       timed("study/sweep", i,
             [&] { run_sweep_job(usweeps_[static_cast<std::size_t>(i)]); });
@@ -436,6 +513,7 @@ void Study::run_jobs() {
   if (spec_.power.enabled) {
     for (int i = 0; i < UT; ++i) {
       auto& j = jobs[static_cast<std::size_t>(UT + UP + US + i)];
+      j.label = "power:" + utopos_[static_cast<std::size_t>(i)].key;
       j.fn = [this, i, &timed] {
         timed("study/power", i, [&] {
           const auto& t = utopos_[static_cast<std::size_t>(i)];
@@ -448,6 +526,23 @@ void Study::run_jobs() {
       jobs[static_cast<std::size_t>(i)].dependents.push_back(UT + UP + US + i);
     }
   }
+  const int base_resil = UT + UP + US + stats_.power_jobs;
+  for (int i = 0; i < stats_.resilience_jobs; ++i) {
+    auto& j = jobs[static_cast<std::size_t>(base_resil + i)];
+    const auto& r = uresil_[static_cast<std::size_t>(i)];
+    j.label =
+        "resilience:" + uplans_[static_cast<std::size_t>(r.plan)].key + "+" +
+        spec_.traffic[static_cast<std::size_t>(r.traffic)].label() + "+" +
+        spec_.faults[static_cast<std::size_t>(r.scenario)].label();
+    j.fn = [this, i, &timed] {
+      timed("study/resilience", i, [&] {
+        run_resilience_job(uresil_[static_cast<std::size_t>(i)]);
+      });
+    };
+    j.pending = 1;
+    jobs[static_cast<std::size_t>(UT + r.plan)].dependents.push_back(
+        base_resil + i);
+  }
 
   int width = opts_.threads >= 0 ? opts_.threads : spec_.threads;
   if (width <= 0) {
@@ -457,13 +552,18 @@ void Study::run_jobs() {
   width = std::min<int>(width, std::max(1, stats_.jobs_total));
 
   obs::WallTimer wall;
-  try {
-    run_dag(jobs, width);
-  } catch (...) {
-    stats_.syntheses_run = synth_count_.load();
-    throw;
-  }
+  run_dag(jobs, width);
   stats_.syntheses_run = synth_count_.load();
+
+  // Failure provenance, in job-id order (deterministic across widths: which
+  // jobs fail does not depend on scheduling, only on their inputs).
+  for (const auto& j : jobs) {
+    if (j.error)
+      failed_jobs_.push_back({j.label, error_message(j.error), false});
+    else if (j.skip)
+      failed_jobs_.push_back({j.label, j.skip_reason, true});
+  }
+  stats_.failed_jobs = static_cast<int>(failed_jobs_.size());
 
   if (obs::metrics_enabled()) {
     obs::counter("study.jobs_run")
@@ -581,6 +681,55 @@ Report Study::assemble() const {
       }
     }
   }
+
+  const int C = static_cast<int>(spec_.faults.size());
+  for (int ref = 0; ref < stats_.topology_refs; ++ref) {
+    for (int s = 0; s < S; ++s) {
+      const int uplan = plan_refs_[ref * S + s];
+      for (int k = 0; k < T; ++k) {
+        const auto& base = usweeps_[static_cast<std::size_t>(
+            sweep_of_plan_traffic_[static_cast<std::size_t>(uplan) * T + k])];
+        for (int c = 0; c < C; ++c) {
+          const auto& ur = uresil_[(static_cast<std::size_t>(uplan) * T + k) *
+                                       C + c];
+          const auto& sc = spec_.faults[static_cast<std::size_t>(c)];
+          ResilienceRow row;
+          row.plan = ref * S + s;
+          row.traffic = spec_.traffic[static_cast<std::size_t>(k)].label();
+          row.scenario = sc.label();
+          row.key = sc.canonical_key();
+          row.events = static_cast<int>(ur.fplan.events.size());
+          row.links_down = ur.fplan.max_links_down;
+          row.routers_down = ur.fplan.max_routers_down;
+          row.lossy = sc.lossy;
+          row.repair = sc.repair;
+          row.flows_rerouted = ur.fplan.flows_rerouted;
+          row.flows_unroutable = ur.fplan.flows_unroutable;
+          row.saturation_pkt_node_cycle = ur.result.saturation_pkt_node_cycle;
+          row.saturation_pkt_node_ns = ur.result.saturation_pkt_node_ns;
+          row.baseline_saturation_pkt_node_cycle =
+              base.result.saturation_pkt_node_cycle;
+          row.baseline_saturation_pkt_node_ns =
+              base.result.saturation_pkt_node_ns;
+          for (const auto& pt : ur.result.points) {
+            ResiliencePointRow pr;
+            pr.offered_pkt_node_cycle = pt.offered_pkt_node_cycle;
+            pr.accepted_pkt_node_cycle = pt.stats.accepted;
+            pr.delivered_fraction = pt.stats.delivered_fraction;
+            pr.latency_p50_cycles = pt.stats.latency_p50_cycles;
+            pr.latency_p99_cycles = pt.stats.latency_p99_cycles;
+            pr.flits_dropped = pt.stats.flits_dropped;
+            pr.packets_dropped = pt.stats.packets_dropped;
+            pr.packets_unroutable = pt.stats.packets_unroutable;
+            pr.saturated = pt.stats.saturated;
+            row.points.push_back(pr);
+          }
+          rep.resilience.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  rep.failed_jobs = failed_jobs_;
 
   if (spec_.power.enabled) {
     for (int ref = 0; ref < stats_.topology_refs; ++ref) {

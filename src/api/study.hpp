@@ -12,7 +12,13 @@
 // is recorded per sweep row).
 //
 // DAG shape:   topology ──► plan ──► sweep (x traffic)
+//                   │          └───► resilience (x traffic x fault scenario)
 //                   └─────► power
+//
+// Robustness: a throwing job records its artifact as failed instead of
+// aborting the study; downstream jobs are skipped with a reason, and the
+// Report carries the failure list as provenance (`failed_jobs`). Rows whose
+// producing job failed keep default values.
 //
 // Keys (DESIGN.md "Experiment API"): topology keys canonicalize the source
 // ("baseline:<family:k=v>", "catalog:<routers>:<row>", "explicit:<adjacency>",
@@ -84,6 +90,9 @@ class Study {
     return utopos_;
   }
   const std::vector<PlanArtifact>& plan_artifacts() const { return uplans_; }
+  // Jobs that threw or were skipped because a dependency failed (valid after
+  // run(); also embedded in the Report).
+  const std::vector<FailedJob>& failed_jobs() const { return failed_jobs_; }
   // Unique plan artifact serving grid row (topology_ref, seed_index).
   const PlanArtifact& plan_for(int topology_ref, int seed_index = 0) const;
 
@@ -97,12 +106,30 @@ class Study {
     int traffic = -1;
     sim::SweepResult result;
   };
+  // One (plan, traffic, fault scenario) evaluation: the expanded fault plan
+  // plus a sweep run under it. Resilience sweeps force adaptive = false so
+  // results are byte-identical across OpenMP widths (baseline sweeps record
+  // their width instead).
+  struct UResilience {
+    int plan = -1;
+    int traffic = -1;
+    int scenario = -1;
+    fault::FaultPlan fplan;
+    sim::SweepResult result;
+  };
 
   void expand();
   void run_jobs();
   void run_topology_job(TopologyArtifact& t);
   void run_plan_job(PlanArtifact& p);
   void run_sweep_job(USweep& s);
+  void run_resilience_job(UResilience& r);
+  // Traffic construction shared by sweep and resilience jobs; updates
+  // max_override for patterns whose rate cap is not the uniform auto bound.
+  sim::TrafficConfig traffic_for(const PlanArtifact& p,
+                                 const TopologyArtifact& t,
+                                 const TrafficSpec& ts,
+                                 double& max_override) const;
   Report assemble() const;
 
   ExperimentSpec spec_;
@@ -121,6 +148,9 @@ class Study {
   std::vector<USweep> usweeps_;
   std::vector<int> sweep_of_plan_traffic_;  // uplan * traffic -> usweep (-1)
   std::vector<power::PowerArea> upower_;    // per unique topology
+  // Dense grid (uplan * T + t) * C + c over the spec's fault scenarios.
+  std::vector<UResilience> uresil_;
+  std::vector<FailedJob> failed_jobs_;
 };
 
 // Convenience one-shot: Study(spec).run().

@@ -66,6 +66,22 @@ PathSet enumerate_shortest_paths_from_dist(const topo::DiGraph& g,
   return ps;
 }
 
+std::vector<Path> enumerate_flow_paths(const topo::DiGraph& g,
+                                       const util::Matrix<int>& dist, int s,
+                                       int d, int max_paths_per_flow) {
+  std::vector<Path> out;
+  if (s == d || dist(s, d) >= topo::kUnreachable) return out;
+  const int n = g.num_nodes();
+  std::vector<std::vector<int>> adj(n);
+  for (int u = 0; u < n; ++u) {
+    adj[u] = g.out_neighbors(u);
+    std::sort(adj[u].begin(), adj[u].end());
+  }
+  Path prefix{s};
+  dfs_paths(adj, dist, d, max_paths_per_flow, prefix, out);
+  return out;
+}
+
 PathSet enumerate_shortest_paths(const topo::DiGraph& g, int max_paths_per_flow) {
   return enumerate_shortest_paths_from_dist(g, topo::apsp_bfs(g),
                                             max_paths_per_flow);

@@ -53,6 +53,14 @@ PathSet enumerate_shortest_paths_from_dist(const topo::DiGraph& g,
                                            const util::Matrix<int>& dist,
                                            int max_paths_per_flow = 64);
 
+// Shortest paths for the single flow (s, d) — the per-flow building block
+// of the full enumeration above, exposed so route repair can re-enumerate
+// only the flows a fault actually severed instead of all n^2. Returns empty
+// when d is unreachable from s under dist.
+std::vector<Path> enumerate_flow_paths(const topo::DiGraph& g,
+                                       const util::Matrix<int>& dist, int s,
+                                       int d, int max_paths_per_flow = 64);
+
 // True iff p is a path in g (consecutive nodes linked) of length
 // dist(s,d) — i.e. a genuine shortest path.
 bool is_shortest_path(const topo::DiGraph& g, const util::Matrix<int>& dist,

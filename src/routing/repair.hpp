@@ -1,0 +1,41 @@
+#pragma once
+// Route repair: rebuild only the flows a fault actually severed, against the
+// surviving subgraph, warm-started from the incumbent routing.
+//
+// The repair contract keeps the common case cheap: flows whose route avoids
+// every failed edge keep their exact incumbent path (they enter the MCLB
+// search as single-candidate flows, so the engine's choice-0 initial state
+// IS the incumbent and the load profile starts from the pre-fault
+// LoadObjective). Only severed flows get fresh shortest-path candidates
+// enumerated on the degraded graph; flows the failure disconnects entirely
+// are reported unroutable — the caller counts them degraded rather than
+// failing the run.
+
+#include <utility>
+#include <vector>
+
+#include "routing/mclb.hpp"
+#include "routing/table.hpp"
+#include "topo/graph.hpp"
+
+namespace netsmith::routing {
+
+struct RepairResult {
+  RoutingTable table;       // repaired routing (unroutable flows keep no path)
+  int flows_affected = 0;   // routes crossing at least one failed edge
+  int flows_rerouted = 0;   // affected flows that found a surviving path
+  int flows_unroutable = 0; // affected flows with no path in the subgraph
+  LoadObjective objective;  // post-repair load profile
+  long iterations = 0;      // MCLB improvement iterations spent
+};
+
+// Repairs `base_table` for the failure of `down_edges` (directed edges of
+// `base_graph`; duplicates and already-absent edges are ignored). The
+// returned table equals the base table on unaffected flows. An empty
+// down_edges list returns the base table unchanged with zero counts.
+RepairResult repair_routes(const topo::DiGraph& base_graph,
+                           const RoutingTable& base_table,
+                           const std::vector<std::pair<int, int>>& down_edges,
+                           int max_paths_per_flow = 48);
+
+}  // namespace netsmith::routing

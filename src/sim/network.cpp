@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/objective.hpp"
+#include "fault/model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/router.hpp"
@@ -48,6 +49,22 @@ class Simulator {
     last_input_pop_.assign(channels_.size(), -1);
     in_buffered_.assign(n_, 0);
     active_words_.assign((static_cast<std::size_t>(n_) + 63) / 64, 0);
+    // An absent or empty fault plan leaves faults_ null, and every fault
+    // branch below is a single predictable `if (faults_)` — the fault-free
+    // hot path runs the exact pre-fault instruction stream.
+    if (cfg.faults != nullptr && !cfg.faults->empty()) {
+      faults_ = cfg.faults;
+      link_down_.assign(channels_.size(), 0);
+      wire_armed_.assign(channels_.size(), 0);
+      router_down_.assign(static_cast<std::size_t>(n_), 0);
+      // Route-of-record per epoch: unrepaired epochs point at the base plan.
+      epoch_tables_.reserve(faults_->epochs.size());
+      epoch_vcs_.reserve(faults_->epochs.size());
+      for (const fault::FaultEpoch& ep : faults_->epochs) {
+        epoch_tables_.push_back(ep.repaired ? &ep.table : &plan_.table);
+        epoch_vcs_.push_back(ep.repaired ? &ep.vc_map : &plan_.vc_map);
+      }
+    }
     prepare_traffic();
     schedule_initial_injections();
   }
@@ -65,6 +82,7 @@ class Simulator {
 
     stats_.cycles_run = horizon;
     for (long cycle = 0; cycle < horizon; ++cycle) {
+      if (faults_) apply_fault_events(cycle);
       deliver_arrivals(cycle);
       if (cfg_.reference_mode)
         switch_all(cycle);
@@ -72,8 +90,11 @@ class Simulator {
         switch_active(cycle);
       if (cycle < window_end) generate_traffic(cycle);
       if (cycle == window_end - 1) record_backlog();
-      // Early exit once every tagged packet has drained.
-      if (cycle >= window_end && stats_.tagged_completed == stats_.tagged_injected &&
+      // Early exit once every tagged packet has drained (dropped packets
+      // count as resolved — they will never complete).
+      if (cycle >= window_end &&
+          stats_.tagged_completed + stats_.tagged_dropped ==
+              stats_.tagged_injected &&
           stats_.tagged_injected > 0 && pending_replies_ == 0) {
         stats_.cycles_run = cycle + 1;
         break;
@@ -93,6 +114,17 @@ class Simulator {
             ? static_cast<double>(stats_.tagged_completed) / stats_.tagged_injected
             : 1.0;
     stats_.saturated = stats_.mean_source_backlog > 4.0 || drained < 0.95;
+    stats_.delivered_fraction =
+        stats_.total_injected > 0
+            ? static_cast<double>(stats_.total_ejected) / stats_.total_injected
+            : 1.0;
+    if (!latencies_.empty()) {
+      std::sort(latencies_.begin(), latencies_.end());
+      stats_.latency_p50_cycles =
+          static_cast<double>(latencies_[(latencies_.size() - 1) / 2]);
+      stats_.latency_p99_cycles = static_cast<double>(
+          latencies_[(latencies_.size() - 1) * 99 / 100]);
+    }
     record_residuals();
     span.arg("cycles", stats_.cycles_run);
     span.arg("accepted", stats_.accepted);
@@ -227,8 +259,18 @@ class Simulator {
   }
 
   Packet* make_packet(int src, int dst, int flits, long cycle, bool request) {
-    const int vc = plan_.vc_map.vc[static_cast<std::size_t>(src) * n_ + dst];
-    if (vc < 0) return nullptr;  // no route (shouldn't happen when connected)
+    // New packets route by the current epoch's table; the epoch index is
+    // pinned into the packet so later repairs never re-route it mid-flight.
+    const routing::RoutingTable& table =
+        faults_ ? *epoch_tables_[cur_epoch_] : plan_.table;
+    const vc::VcMap& vcm = faults_ ? *epoch_vcs_[cur_epoch_] : plan_.vc_map;
+    const int vc = vcm.vc[static_cast<std::size_t>(src) * n_ + dst];
+    if (vc < 0) {
+      // No route: a fault disconnected the flow (counted degraded), or the
+      // base plan is malformed (shouldn't happen when connected).
+      if (faults_) ++stats_.packets_unroutable;
+      return nullptr;
+    }
     Packet* p;
     if (!freelist_.empty()) {
       p = freelist_.back();
@@ -243,7 +285,8 @@ class Simulator {
     p->dst = dst;
     p->flits = flits;
     p->vc = vc;
-    p->src_next = plan_.table.next_hop(src, src, dst);
+    p->src_next = table.next_hop(src, src, dst);
+    p->epoch = static_cast<int>(cur_epoch_);
     p->inject_cycle = cycle;
     p->tagged = cycle >= cfg_.warmup && cycle < cfg_.warmup + cfg_.measure;
     p->is_request = request;
@@ -292,6 +335,152 @@ class Simulator {
     active_words_[static_cast<std::size_t>(u) >> 6] |= 1ULL << (u & 63);
   }
 
+  // --- Fault injection -----------------------------------------------------
+  // Everything in this section runs only when faults_ is set; the fault-free
+  // path never reaches it.
+
+  int channel_id(int u, int v) const {
+    for (int id : out_edges_[u])
+      if (channels_[id].dst == v) return id;
+    return -1;
+  }
+
+  // The routing a packet was injected under (its epoch of record).
+  const routing::RoutingTable& table_for(const Packet* p) const {
+    return faults_ ? *epoch_tables_[static_cast<std::size_t>(p->epoch)]
+                   : plan_.table;
+  }
+
+  // Applies all fault events due at `cycle` (idempotent per component), then
+  // advances the current routing epoch. Runs before delivery/switching, so a
+  // link failing at cycle c carries nothing during c and a recovering link
+  // delivers its stranded flits the same cycle it comes back.
+  void apply_fault_events(long cycle) {
+    const auto& evs = faults_->events;
+    while (next_event_ < evs.size() && evs[next_event_].cycle <= cycle) {
+      const fault::FaultEvent& e = evs[next_event_++];
+      switch (e.kind) {
+        case fault::FaultEventKind::kLinkDown: {
+          const int id = channel_id(e.a, e.b);
+          if (id >= 0 && !link_down_[id]) {
+            link_down_[id] = 1;
+            if (faults_->lossy) drop_wire_packets(id);
+          }
+          break;
+        }
+        case fault::FaultEventKind::kLinkUp: {
+          const int id = channel_id(e.a, e.b);
+          if (id >= 0 && link_down_[id]) {
+            link_down_[id] = 0;
+            Channel& ch = channels_[id];
+            // Stranded flits resume: re-arm the arrival heap unless an entry
+            // for this channel is already pending.
+            if (!ch.wire_empty() && !wire_armed_[id]) {
+              arrival_heap_.emplace(std::max(ch.wire_front().arrive, cycle),
+                                    id);
+              wire_armed_[id] = 1;
+            }
+          }
+          break;
+        }
+        case fault::FaultEventKind::kRouterDown:
+          router_down_[static_cast<std::size_t>(e.a)] = 1;
+          break;
+        case fault::FaultEventKind::kRouterUp:
+          router_down_[static_cast<std::size_t>(e.a)] = 0;
+          activate(e.a);  // resume refused injection/ejection work
+          break;
+      }
+    }
+    while (cur_epoch_ + 1 < faults_->epochs.size() &&
+           faults_->epochs[cur_epoch_ + 1].cycle <= cycle)
+      ++cur_epoch_;
+  }
+
+  // Lossy link failure: every packet with a flit in flight on the failing
+  // wire is purged whole — worm-granular, because dropping part of a worm
+  // would leave downstream VC owners held forever. Flits are removed from
+  // every wire and buffer in the network, their reserved credits returned,
+  // and the packet recycled; counts land in the dropped stats.
+  void drop_wire_packets(int id) {
+    Channel& ch = channels_[id];
+    if (ch.wire_empty()) return;
+    std::vector<Packet*> victims;
+    for (int j = 0; j < ch.wire_count; ++j) {
+      Packet* p =
+          ch.wire[(ch.wire_head + j) % ch.wire.size()].flit.pkt;
+      if (!p->dropped) {
+        p->dropped = true;
+        victims.push_back(p);
+      }
+    }
+    purge_dropped();
+    for (Packet* p : victims) {
+      ++stats_.packets_dropped;
+      if (p->tagged) ++stats_.tagged_dropped;
+      if (p->is_request) --pending_replies_;
+      // A victim with unsent flits is necessarily its source queue's front
+      // (later packets have sent nothing, so they have no wire presence).
+      auto& sq = sources_[p->src];
+      if (!sq.packets.empty() && sq.packets.front() == p)
+        sq.packets.pop_front();
+      p->dropped = false;
+      freelist_.push_back(p);
+    }
+  }
+
+  // Removes every flit of dropped packets from all wire and buffer rings,
+  // restoring the credits those flits held and clearing their VC ownership.
+  void purge_dropped() {
+    for (std::size_t id = 0; id < channels_.size(); ++id) {
+      Channel& ch = channels_[id];
+      if (ch.wire_count > 0) {
+        const int w = ch.wire_count;
+        const std::size_t ring = ch.wire.size();
+        int kept = 0;
+        for (int j = 0; j < w; ++j) {
+          const InFlight f = ch.wire[(ch.wire_head + j) % ring];
+          if (f.flit.pkt->dropped) {
+            ++ch.credits[f.vc];  // reserved downstream slot, never filled
+            ++stats_.flits_dropped;
+          } else {
+            ch.wire[(ch.wire_head + kept) % ring] = f;
+            ++kept;
+          }
+        }
+        ch.wire_count = kept;
+        // A now-stale heap entry self-corrects: its pop delivers nothing and
+        // re-arms from the surviving front (see deliver_arrivals).
+      }
+      for (int vc = 0; vc < ch.vcs; ++vc) {
+        if (ch.count[vc] > 0) {
+          const int c = ch.count[vc];
+          int kept = 0;
+          for (int j = 0; j < c; ++j) {
+            const Flit f =
+                ch.buf[static_cast<std::size_t>(vc) * ch.cap +
+                       (ch.head[vc] + j) % ch.cap];
+            if (f.pkt->dropped) {
+              ++ch.credits[vc];
+              --in_buffered_[ch.dst];
+              ++stats_.flits_dropped;
+            } else {
+              ch.buf[static_cast<std::size_t>(vc) * ch.cap +
+                     (ch.head[vc] + kept) % ch.cap] = f;
+              ++kept;
+            }
+          }
+          ch.count[vc] = kept;
+          if (kept == 0 && mask_ok_[ch.dst])
+            buf_mask_[ch.dst] &=
+                ~(1ULL << (ch.k_at_dst * cfg_.num_vcs + vc));
+        }
+        if (ch.owner[vc] != nullptr && ch.owner[vc]->dropped)
+          ch.owner[vc] = nullptr;
+      }
+    }
+  }
+
   // --- Flit movement -------------------------------------------------------
   // Event-driven delivery: instead of scanning every channel every cycle, a
   // min-heap holds one (earliest in-flight arrival, channel) entry per
@@ -305,6 +494,13 @@ class Simulator {
       arrival_heap_.pop();
       ++stats_.arrival_heap_pops;
       Channel& ch = channels_[id];
+      if (faults_) {
+        wire_armed_[id] = 0;
+        // A down link strands its in-flight flits: no delivery, no re-arm
+        // (kLinkUp re-arms). Drops the heap entry on the floor.
+        if (link_down_[id]) continue;
+      }
+      bool delivered = false;
       while (!ch.wire_empty() && ch.wire_front().arrive <= cycle) {
         const InFlight& f = ch.wire_front();
         ch.push(f.vc, f.flit);
@@ -313,10 +509,16 @@ class Simulator {
               1ULL << (ch.k_at_dst * cfg_.num_vcs + f.vc);
         ch.wire_pop();
         ++in_buffered_[ch.dst];
+        delivered = true;
       }
-      activate(ch.dst);
-      if (!ch.wire_empty())
+      // Fault-free, every pop delivers (the heap invariant guarantees a due
+      // front), so the guard never changes behavior; it exists for stale
+      // entries left by lossy purges and link-up re-arms.
+      if (delivered) activate(ch.dst);
+      if (!ch.wire_empty()) {
         arrival_heap_.emplace(ch.wire_front().arrive, id);
+        if (faults_) wire_armed_[id] = 1;
+      }
     }
   }
 
@@ -406,6 +608,8 @@ class Simulator {
       return ch.empty(vc) ? nullptr : &ch.front(vc);
     }
     // Injection source: synthesize the next flit view of the head packet.
+    // A down router's NI refuses injection; its queue backs up instead.
+    if (faults_ && router_down_[static_cast<std::size_t>(u)]) return nullptr;
     auto& sq = sources_[u];
     if (sq.packets.empty() || !source_bw_free(sq)) return nullptr;
     Packet* p = sq.packets.front();
@@ -453,6 +657,7 @@ class Simulator {
   }
 
   void arbitrate_output(int u, int eid, long cycle) {
+    if (faults_ && link_down_[eid]) return;  // down links accept no flits
     Channel& out = channels_[eid];
     const std::size_t num_inputs = in_edges_[u].size() + 1;
     const std::size_t slots = num_inputs * cfg_.num_vcs;
@@ -470,7 +675,7 @@ class Simulator {
         // Oracle: route from the table per candidate, as the original scan
         // did. f->next caches exactly this lookup (-1 when p->dst == u).
         if (p->dst == u) return false;  // belongs to the ejection port
-        if (plan_.table.next_hop(u, p->src, p->dst) != out.dst) return false;
+        if (table_for(p).next_hop(u, p->src, p->dst) != out.dst) return false;
       } else if (f->next != out.dst) {
         return false;
       }
@@ -483,12 +688,14 @@ class Simulator {
       Flit sent = *f;
       sent.next = p->dst == out.dst
                       ? -1
-                      : plan_.table.next_hop(out.dst, p->src, p->dst);
+                      : table_for(p).next_hop(out.dst, p->src, p->dst);
       pop(u, k, vc, cycle);
       --out.credits[vc];
       out.owner[vc] = sent.tail ? nullptr : p;
-      if (out.wire_empty())
+      if (out.wire_empty() && (!faults_ || !wire_armed_[eid])) {
         arrival_heap_.emplace(cycle + out.latency, eid);
+        if (faults_) wire_armed_[eid] = 1;
+      }
       out.wire_push({cycle + out.latency, sent, vc});
       rr = static_cast<int>((slot + 1) % slots);
       return true;  // one flit per output per cycle
@@ -518,6 +725,7 @@ class Simulator {
   }
 
   void ejection(int u, long cycle) {
+    if (faults_ && router_down_[static_cast<std::size_t>(u)]) return;
     const auto& ins = in_edges_[u];
     const std::size_t slots = ins.size() * cfg_.num_vcs;
     if (slots == 0) return;
@@ -567,6 +775,7 @@ class Simulator {
     if (p->tagged) {
       ++stats_.tagged_completed;
       latency_sum_ += cycle - p->inject_cycle + 1;
+      latencies_.push_back(cycle - p->inject_cycle + 1);
     }
     if (p->is_request) {
       --pending_replies_;  // the request itself
@@ -661,6 +870,21 @@ class Simulator {
   std::priority_queue<std::pair<long, int>, std::vector<std::pair<long, int>>,
                       std::greater<>>
       inject_heap_;
+
+  // Fault state (sized only when a non-empty plan is attached). wire_armed_
+  // mirrors "this channel has an arrival-heap entry pending" — the fault
+  // paths (stranding, purges, link-up re-arms) break the fault-free
+  // invariant that an entry exists iff the wire is non-empty, so re-arming
+  // needs an explicit flag to stay duplicate-free.
+  const fault::FaultPlan* faults_ = nullptr;
+  std::size_t next_event_ = 0;
+  std::size_t cur_epoch_ = 0;
+  std::vector<const routing::RoutingTable*> epoch_tables_;
+  std::vector<const vc::VcMap*> epoch_vcs_;
+  std::vector<std::uint8_t> link_down_;    // per channel id
+  std::vector<std::uint8_t> router_down_;  // per router
+  std::vector<std::uint8_t> wire_armed_;   // per channel id
+  std::vector<long> latencies_;  // tagged completion latencies (percentiles)
 
   std::deque<Packet> arena_;        // stable storage; grows only when the
   std::vector<Packet*> freelist_;   // freelist of completed packets is empty

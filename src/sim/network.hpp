@@ -14,6 +14,10 @@
 #include "sim/traffic.hpp"
 #include "util/matrix.hpp"
 
+namespace netsmith::fault {
+struct FaultPlan;
+}
+
 namespace netsmith::sim {
 
 struct SimConfig {
@@ -37,6 +41,13 @@ struct SimConfig {
   // produce bit-identical SimStats for the same seed; the equivalence tests
   // assert exactly that.
   bool reference_mode = false;
+  // Optional fault plan (fault/model.hpp), not owned; null or empty keeps the
+  // fault-free hot path bit-identical (test_fault asserts that). Events apply
+  // at cycle boundaries: a down link accepts no new flits and strands its
+  // in-flight ones (lossy plans drop the affected packets instead), a down
+  // router refuses injection and ejection but still forwards, and packets
+  // injected during a repaired epoch route by that epoch's table.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct SimStats {
@@ -68,6 +79,19 @@ struct SimStats {
   // per-channel wire heap.
   long active_router_cycles = 0;
   long arrival_heap_pops = 0;
+  // Fault accounting (all zero / identity on fault-free runs). With faults
+  // the conservation invariant gains a term:
+  //   flits_injected == flits_ejected + flits_dropped
+  //                     + flits_buffered_end + flits_inflight_end
+  long flits_dropped = 0;     // purged by lossy link failures
+  long packets_dropped = 0;   // whole packets purged (worm-granular)
+  long tagged_dropped = 0;    // dropped packets from the measurement window
+  long packets_unroutable = 0;  // offered to a flow with no surviving route
+  // Tagged-packet latency percentiles and packet delivery fraction — the
+  // resilience metrics the Report surfaces per fault-severity step.
+  double latency_p50_cycles = 0.0;
+  double latency_p99_cycles = 0.0;
+  double delivered_fraction = 1.0;  // total_ejected / total_injected
 };
 
 // Runs one simulation at a fixed injection rate. The plan's VC map must use

@@ -16,6 +16,12 @@ struct Packet {
   bool tagged = false;    // injected inside the measurement window
   bool is_request = false;  // memory traffic: triggers a reply at ejection
   int flits_sent = 0;       // progress at the current router
+  // Fault-injection state (untouched on fault-free runs). epoch pins the
+  // routing table the packet was injected under — in-flight wormholes keep
+  // their route of record across repairs, so a table swap never splits a
+  // worm. dropped marks a packet being purged by a lossy link failure.
+  int epoch = 0;
+  bool dropped = false;
 };
 
 struct Flit {

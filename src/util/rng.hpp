@@ -26,6 +26,19 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// Derives a decorrelated child seed for substream `stream` of `seed`.
+// Consumers that must not perturb each other's draw sequences (the fault
+// schedule generator vs the simulator's traffic sampler, per-link failure
+// processes) each seed their own Rng from a distinct stream id: the mapping
+// (seed, stream) -> child is pure, so any consumer can be added, removed or
+// re-ordered without shifting another stream's sequence.
+inline std::uint64_t split_stream(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 outer(seed);
+  SplitMix64 inner(outer.next() ^
+                   (stream * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL));
+  return inner.next();
+}
+
 // xoshiro256**: high-quality, small-state generator.
 class Rng {
  public:

@@ -112,6 +112,44 @@ TEST(Rng, PickReturnsElement) {
   }
 }
 
+TEST(SplitStream, DeterministicPureFunction) {
+  EXPECT_EQ(split_stream(42, 0), split_stream(42, 0));
+  EXPECT_EQ(split_stream(42, 1000), split_stream(42, 1000));
+}
+
+TEST(SplitStream, StreamsDistinctUnderOneSeed) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 4096; ++s) seeds.insert(split_stream(9, s));
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(SplitStream, SeedsDistinctForOneStream) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 4096; ++s) seeds.insert(split_stream(s, 5));
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(SplitStream, ChildStreamsDecorrelated) {
+  // Adjacent streams must not produce correlated child RNG sequences: the
+  // fault scheduler hands stream i to link i.
+  Rng a(split_stream(7, 1)), b(split_stream(7, 2));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitStream, HighBitStreamsDistinct) {
+  // Router streams live at 2^63 + r; they must not collide with link
+  // streams at small indices.
+  constexpr std::uint64_t kRouterBase = 0x8000000000000000ULL;
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 512; ++s) {
+    seeds.insert(split_stream(3, s));
+    seeds.insert(split_stream(3, kRouterBase + s));
+  }
+  EXPECT_EQ(seeds.size(), 1024u);
+}
+
 class RngRangeTest : public ::testing::TestWithParam<std::int64_t> {};
 
 TEST_P(RngRangeTest, BoundedSamplingStaysInRange) {

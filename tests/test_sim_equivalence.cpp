@@ -33,6 +33,15 @@ void expect_identical(const SimStats& ref, const SimStats& opt) {
   // deliveries share one heap-driven code path.
   EXPECT_EQ(ref.active_router_cycles, opt.active_router_cycles);
   EXPECT_EQ(ref.arrival_heap_pops, opt.arrival_heap_pops);
+  // Fault accounting: zero/identity on these fault-free runs, and identical
+  // between modes either way.
+  EXPECT_EQ(ref.flits_dropped, opt.flits_dropped);
+  EXPECT_EQ(ref.packets_dropped, opt.packets_dropped);
+  EXPECT_EQ(ref.tagged_dropped, opt.tagged_dropped);
+  EXPECT_EQ(ref.packets_unroutable, opt.packets_unroutable);
+  EXPECT_DOUBLE_EQ(ref.delivered_fraction, opt.delivered_fraction);
+  EXPECT_DOUBLE_EQ(ref.latency_p50_cycles, opt.latency_p50_cycles);
+  EXPECT_DOUBLE_EQ(ref.latency_p99_cycles, opt.latency_p99_cycles);
   // Same integer event history implies the exact same arithmetic.
   EXPECT_DOUBLE_EQ(ref.accepted, opt.accepted);
   EXPECT_DOUBLE_EQ(ref.avg_latency_cycles, opt.avg_latency_cycles);

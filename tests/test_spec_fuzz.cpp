@@ -1,0 +1,228 @@
+// Parser-hardening fuzz for the declarative experiment spec: dozens of
+// truncated and mutated variants of a known-good document must all be
+// rejected with a clean std::invalid_argument whose message names the spec
+// layer (actionable, not a crash, not a foreign exception type).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "api/spec.hpp"
+
+namespace netsmith::api {
+namespace {
+
+// A full-featured valid spec (schema v2 with a faults block) used as the
+// mutation baseline. Kept inline so the test is hermetic.
+const char* const kGoodSpec = R"({
+  "schema_version": 2,
+  "name": "fuzz",
+  "topologies": [
+    {"source": "baseline", "baseline": "mesh:rows=3,cols=4"},
+    {
+      "source": "synthesize",
+      "name": "synth",
+      "rows": 2,
+      "cols": 4,
+      "link_class": "small",
+      "objectives": ["latop"],
+      "restarts": 1,
+      "max_moves": 100,
+      "synth_seed": 7
+    }
+  ],
+  "routing": "auto",
+  "num_vcs": 6,
+  "seeds": [7],
+  "analytic": true,
+  "traffic": [
+    {"kind": "coherence", "ctrl_flits": 1, "data_flits": 9, "data_fraction": 0.5}
+  ],
+  "sweep": {"points": 4, "warmup": 300, "measure": 800, "drain": 3000},
+  "power": {"enabled": true, "flits_per_node_cycle": 0.25},
+  "faults": [
+    {
+      "name": "cut",
+      "mode": "targeted",
+      "k": 1,
+      "fail_at": 100,
+      "recover_at": 900,
+      "lossy": false,
+      "repair": true
+    },
+    {
+      "mode": "explicit",
+      "events": [{"cycle": 10, "kind": "link_down", "a": 0, "b": 1}]
+    }
+  ]
+})";
+
+void expect_rejected(const std::string& text, const std::string& label) {
+  try {
+    parse_spec(text);
+    FAIL() << label << ": malformed spec was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_FALSE(msg.empty()) << label;
+    // Actionable: the message names the offending layer ("spec: ..." or,
+    // for fault-scenario fields, "faults: ...").
+    EXPECT_TRUE(msg.find("spec") != std::string::npos ||
+                msg.find("faults") != std::string::npos)
+        << label << ": message lacks a layer prefix: " << msg;
+  } catch (const std::exception& e) {
+    FAIL() << label << ": wrong exception type (" << typeid(e).name()
+           << "): " << e.what();
+  }
+}
+
+// Single-occurrence textual mutation; asserts the needle exists so edits to
+// kGoodSpec cannot silently turn a mutation into a no-op.
+std::string replaced(const std::string& from, const std::string& to) {
+  const std::string base = kGoodSpec;
+  const auto pos = base.find(from);
+  EXPECT_NE(pos, std::string::npos) << "mutation needle missing: " << from;
+  std::string out = base;
+  out.replace(pos, from.size(), to);
+  return out;
+}
+
+TEST(SpecFuzz, BaselineDocumentIsValid) {
+  const ExperimentSpec spec = parse_spec(kGoodSpec);
+  EXPECT_EQ(spec.name, "fuzz");
+  EXPECT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(parse_spec(serialize(spec)), spec);
+}
+
+TEST(SpecFuzz, TruncationsAreRejectedCleanly) {
+  const std::string base = kGoodSpec;
+  int cases = 0;
+  const std::size_t step = base.size() / 40 + 1;
+  for (std::size_t len = 1; len < base.size(); len += step) {
+    // A prefix that only lost trailing whitespace is still valid JSON.
+    bool lost_content = false;
+    for (std::size_t i = len; i < base.size(); ++i)
+      if (!std::isspace(static_cast<unsigned char>(base[i]))) {
+        lost_content = true;
+        break;
+      }
+    if (!lost_content) continue;
+    expect_rejected(base.substr(0, len),
+                    "truncated to " + std::to_string(len) + " bytes");
+    ++cases;
+  }
+  EXPECT_GE(cases, 25);
+  expect_rejected("", "empty document");
+  expect_rejected("{", "lone brace");
+  expect_rejected("null", "JSON null");
+  expect_rejected("[]", "array document");
+}
+
+struct Mutation {
+  const char* label;
+  const char* from;
+  const char* to;
+};
+
+class SpecMutation : public ::testing::TestWithParam<Mutation> {};
+
+TEST_P(SpecMutation, RejectedCleanly) {
+  const auto& m = GetParam();
+  expect_rejected(replaced(m.from, m.to), m.label);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SpecMutation,
+    ::testing::Values(
+        // Schema stamp.
+        Mutation{"schema_future", "\"schema_version\": 2",
+                 "\"schema_version\": 99"},
+        Mutation{"schema_negative", "\"schema_version\": 2",
+                 "\"schema_version\": -1"},
+        Mutation{"schema_string", "\"schema_version\": 2",
+                 "\"schema_version\": \"two\""},
+        // Top level.
+        Mutation{"name_number", "\"name\": \"fuzz\"", "\"name\": 42"},
+        Mutation{"unknown_top_key", "\"routing\": \"auto\"",
+                 "\"bogus\": 1, \"routing\": \"auto\""},
+        Mutation{"routing_unknown", "\"routing\": \"auto\"",
+                 "\"routing\": \"fastest\""},
+        Mutation{"num_vcs_zero", "\"num_vcs\": 6", "\"num_vcs\": 0"},
+        Mutation{"threads_negative", "\"num_vcs\": 6",
+                 "\"num_vcs\": 6, \"threads\": -2"},
+        Mutation{"seeds_empty", "\"seeds\": [7]", "\"seeds\": []"},
+        Mutation{"analytic_string", "\"analytic\": true",
+                 "\"analytic\": \"yes\""},
+        // Topologies.
+        Mutation{"topologies_empty", "\"topologies\": [\n    {\"source\": "
+                 "\"baseline\", \"baseline\": \"mesh:rows=3,cols=4\"},",
+                 "\"topologies\": [],\n  \"unused\": [\n    {\"source\": "
+                 "\"baseline\", \"baseline\": \"mesh:rows=3,cols=4\"},"},
+        Mutation{"source_unknown", "\"source\": \"baseline\"",
+                 "\"source\": \"warp\""},
+        Mutation{"objectives_empty", "\"objectives\": [\"latop\"]",
+                 "\"objectives\": []"},
+        Mutation{"restarts_zero", "\"restarts\": 1", "\"restarts\": 0"},
+        Mutation{"rows_string", "\"rows\": 2", "\"rows\": \"two\""},
+        Mutation{"max_moves_negative", "\"max_moves\": 100,",
+                 "\"max_moves\": -5,"},
+        Mutation{"unknown_topology_key", "\"synth_seed\": 7",
+                 "\"synth_seed\": 7, \"zap\": 1"},
+        // Traffic.
+        Mutation{"traffic_kind_unknown", "\"kind\": \"coherence\"",
+                 "\"kind\": \"chaos\""},
+        Mutation{"ctrl_flits_zero", "\"ctrl_flits\": 1", "\"ctrl_flits\": 0"},
+        Mutation{"data_fraction_above_one", "\"data_fraction\": 0.5",
+                 "\"data_fraction\": 1.5"},
+        Mutation{"data_fraction_negative", "\"data_fraction\": 0.5",
+                 "\"data_fraction\": -0.1"},
+        // Sweep.
+        Mutation{"points_zero", "\"points\": 4", "\"points\": 0"},
+        Mutation{"measure_zero", "\"measure\": 800", "\"measure\": 0"},
+        Mutation{"warmup_negative", "\"warmup\": 300", "\"warmup\": -1"},
+        Mutation{"drain_negative", "\"drain\": 3000", "\"drain\": -2"},
+        Mutation{"hop_delay_zero", "\"points\": 4",
+                 "\"points\": 4, \"router_delay\": 0, \"link_delay\": 0"},
+        Mutation{"buf_flits_zero", "\"points\": 4",
+                 "\"points\": 4, \"buf_flits\": 0"},
+        Mutation{"io_flits_zero", "\"points\": 4",
+                 "\"points\": 4, \"io_flits_per_cycle\": 0"},
+        Mutation{"unknown_sweep_key", "\"points\": 4",
+                 "\"points\": 4, \"zap\": 2"},
+        // Power.
+        Mutation{"power_enabled_number", "\"enabled\": true", "\"enabled\": 1"},
+        Mutation{"power_activity_string", "\"flits_per_node_cycle\": 0.25",
+                 "\"flits_per_node_cycle\": \"lots\""},
+        // Faults.
+        Mutation{"fault_mode_unknown", "\"mode\": \"targeted\"",
+                 "\"mode\": \"spooky\""},
+        Mutation{"fault_k_negative", "\"k\": 1", "\"k\": -1"},
+        Mutation{"fault_fail_at_negative", "\"fail_at\": 100",
+                 "\"fail_at\": -3"},
+        Mutation{"fault_recover_before_fail", "\"recover_at\": 900",
+                 "\"recover_at\": 50"},
+        Mutation{"fault_lossy_string", "\"lossy\": false", "\"lossy\": \"no\""},
+        Mutation{"fault_mtbf_negative", "\"k\": 1",
+                 "\"k\": 1, \"link_mtbf\": -1"},
+        Mutation{"fault_unknown_key", "\"mode\": \"targeted\"",
+                 "\"mode\": \"targeted\", \"zzz\": 1"},
+        Mutation{"fault_event_kind_unknown", "\"kind\": \"link_down\"",
+                 "\"kind\": \"melt\""},
+        Mutation{"fault_event_cycle_negative", "\"cycle\": 10",
+                 "\"cycle\": -1"},
+        Mutation{"fault_link_event_missing_b", "\"a\": 0, \"b\": 1",
+                 "\"a\": 0"},
+        Mutation{"fault_explicit_without_events",
+                 "\"events\": [{\"cycle\": 10, \"kind\": \"link_down\", "
+                 "\"a\": 0, \"b\": 1}]",
+                 "\"events\": []"},
+        // Structural damage.
+        Mutation{"seeds_trailing_comma", "\"seeds\": [7]", "\"seeds\": [7,]"},
+        Mutation{"unbalanced_array", "\"seeds\": [7]", "\"seeds\": [7"},
+        Mutation{"garbage_value", "\"seeds\": [7]", "\"seeds\": @@"}),
+    [](const ::testing::TestParamInfo<Mutation>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace netsmith::api

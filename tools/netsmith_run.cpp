@@ -15,6 +15,10 @@
 // writing, the tool re-parses its own output (spec_from_report) and checks
 // it equals the input spec, so a zero exit status certifies the round-trip.
 // A human-readable summary goes to stderr; only JSON touches stdout.
+//
+// Exit status: 0 = success, 1 = error (no report), 2 = usage, 3 = the report
+// was written but is partial — some jobs failed or were skipped (listed on
+// stderr and in the report's provenance.failed_jobs).
 
 #include <cstdio>
 #include <cstring>
@@ -83,7 +87,7 @@ int main(int argc, char** argv) {
     if (validate_only) {
       std::fprintf(stderr, "netsmith_run: %s is valid (schema %d, %zu "
                    "topologies, round-trip OK)\n",
-                   spec_path.c_str(), api::kSpecSchemaVersion,
+                   spec_path.c_str(), api::spec_schema_version(spec),
                    spec.topologies.size());
       return 0;
     }
@@ -116,14 +120,28 @@ int main(int argc, char** argv) {
     const auto& st = study.stats();
     std::fprintf(stderr,
                  "netsmith_run: %s: %d topologies (%d unique, %d synthesized),"
-                 " %d plans (%d unique), %d sweeps, %d power rows in %.1f s"
-                 " [schema %d, spec round-trip OK]%s%s\n",
+                 " %d plans (%d unique), %d sweeps, %d resilience rows,"
+                 " %d power rows in %.1f s [schema %d, spec round-trip OK]%s%s\n",
                  spec.name.c_str(), st.topology_refs, st.unique_topologies,
                  st.syntheses_run, st.plan_refs, st.unique_plans,
-                 st.sweep_jobs, st.power_jobs, timer.seconds(),
-                 api::kReportSchemaVersion,
+                 st.sweep_jobs, st.resilience_jobs, st.power_jobs,
+                 timer.seconds(), api::report_schema_version(report),
                  out_path.empty() ? "" : " -> ",
                  out_path.c_str());
+
+    // Partial report: the study degraded instead of aborting. Surface every
+    // failure and exit 3 so scripts can tell "complete" from "degraded".
+    if (!report.failed_jobs.empty()) {
+      std::fprintf(stderr,
+                   "netsmith_run: WARNING: %zu job(s) failed or were skipped;"
+                   " the report is partial:\n",
+                   report.failed_jobs.size());
+      for (const auto& f : report.failed_jobs)
+        std::fprintf(stderr, "  %s %s: %s\n",
+                     f.skipped ? "[skipped]" : "[failed] ", f.job.c_str(),
+                     f.reason.c_str());
+      return 3;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "netsmith_run: %s\n", e.what());
