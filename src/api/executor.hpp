@@ -1,0 +1,29 @@
+#pragma once
+// External job executor: lets a host process run many Studies on one shared
+// thread pool instead of each Study spawning its own workers.
+//
+// The Study runner only needs fire-and-forget submission — DAG ordering is
+// the runner's own bookkeeping (a job is submitted only once its
+// dependencies finished), and completion is observed through the submitted
+// closures themselves. Tasks never block on other tasks, so any pool of
+// width >= 1 makes progress and several concurrent Studies can interleave
+// their jobs on the same workers without deadlock.
+//
+// serve::SharedPool is the production implementation, shared across all
+// concurrent daemon requests.
+
+#include <functional>
+
+namespace netsmith::api {
+
+class JobExecutor {
+ public:
+  virtual ~JobExecutor() = default;
+
+  // Enqueues `task` to run on some worker thread, at some later point.
+  // Must not run the task inline (the caller may hold locks) and must not
+  // drop it: every submitted task is eventually executed.
+  virtual void submit(std::function<void()> task) = 0;
+};
+
+}  // namespace netsmith::api

@@ -151,7 +151,9 @@ struct StudyStats {
   int topology_refs = 0;      // expanded topology grid entries
   int unique_topologies = 0;  // distinct artifact keys
   int topology_cache_hits = 0;
-  int syntheses_run = 0;  // annealer invocations actually executed
+  int syntheses_run = 0;  // synthesize jobs resolved (annealer run or
+                          // artifact-cache restore; keeps reports
+                          // cache-oblivious)
   int plan_refs = 0;
   int unique_plans = 0;
   int plan_cache_hits = 0;

@@ -6,10 +6,12 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "api/artifact_io.hpp"
 #include "core/objective.hpp"
 #include "fault/model.hpp"
 #include "obs/clock.hpp"
@@ -45,17 +47,50 @@ struct Job {
   std::exception_ptr error;
 };
 
+using DoneCallback = std::function<void(const std::string&, int, int)>;
+
+// Runs `jobs[id]`, then — under `m` — retires it: propagates skips, returns
+// the newly unblocked dependents, and fires the completion callback. Shared
+// by both DAG drivers below.
+std::vector<int> retire_job(std::vector<Job>& jobs, int id, std::mutex& m,
+                            std::size_t& remaining, int& done,
+                            const DoneCallback& on_done) {
+  if (!jobs[id].skip) {
+    try {
+      jobs[id].fn();
+    } catch (...) {
+      jobs[id].error = std::current_exception();
+    }
+  }
+  std::lock_guard<std::mutex> lk(m);
+  --remaining;
+  ++done;
+  const bool failed = jobs[id].skip || jobs[id].error != nullptr;
+  std::vector<int> newly;
+  for (int d : jobs[id].dependents) {
+    if (failed && !jobs[d].skip) {
+      jobs[d].skip = true;
+      jobs[d].skip_reason = "dependency '" + jobs[id].label + "' " +
+                            (jobs[id].error ? "failed" : "was skipped");
+    }
+    if (--jobs[d].pending == 0) newly.push_back(d);
+  }
+  if (on_done) on_done(jobs[id].label, done, static_cast<int>(jobs.size()));
+  return newly;
+}
+
 // Runs the DAG on `width` workers. Jobs become ready as dependencies finish;
 // a failed dependency skips its downstream jobs (recording which dependency
 // failed). Never throws: errors stay on the jobs for the caller to collect —
 // a failed job degrades the report, it does not abort the study.
-void run_dag(std::vector<Job>& jobs, int width) {
+void run_dag(std::vector<Job>& jobs, int width, const DoneCallback& on_done) {
   std::mutex m;
   std::condition_variable cv;
   std::deque<int> ready;
   for (int i = 0; i < static_cast<int>(jobs.size()); ++i)
     if (jobs[i].pending == 0) ready.push_back(i);
   std::size_t remaining = jobs.size();
+  int done = 0;
 
   auto worker = [&] {
     std::unique_lock<std::mutex> lk(m);
@@ -65,24 +100,10 @@ void run_dag(std::vector<Job>& jobs, int width) {
       const int id = ready.front();
       ready.pop_front();
       lk.unlock();
-      if (!jobs[id].skip) {
-        try {
-          jobs[id].fn();
-        } catch (...) {
-          jobs[id].error = std::current_exception();
-        }
-      }
+      const std::vector<int> newly =
+          retire_job(jobs, id, m, remaining, done, on_done);
       lk.lock();
-      --remaining;
-      const bool failed = jobs[id].skip || jobs[id].error != nullptr;
-      for (int d : jobs[id].dependents) {
-        if (failed && !jobs[d].skip) {
-          jobs[d].skip = true;
-          jobs[d].skip_reason = "dependency '" + jobs[id].label + "' " +
-                                (jobs[id].error ? "failed" : "was skipped");
-        }
-        if (--jobs[d].pending == 0) ready.push_back(d);
-      }
+      for (int d : newly) ready.push_back(d);
       cv.notify_all();
     }
   };
@@ -91,6 +112,58 @@ void run_dag(std::vector<Job>& jobs, int width) {
   pool.reserve(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
+}
+
+// Executor-backed variant: jobs are submitted to an external pool (shared
+// across concurrent studies) instead of dedicated workers. The calling
+// thread blocks until the whole DAG has drained. Completion state is
+// shared_ptr-held so in-flight task closures never dangle, whatever the
+// pool's retirement order.
+struct ExternalDag : std::enable_shared_from_this<ExternalDag> {
+  std::vector<Job>* jobs = nullptr;
+  api::JobExecutor* exec = nullptr;
+  DoneCallback on_done;
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  int done = 0;
+
+  void submit(int id) {
+    exec->submit([self = shared_from_this(), id] {
+      std::size_t left;
+      std::vector<int> newly;
+      {
+        // retire_job locks internally; compute `left` under the same lock
+        // ordering by re-locking after (remaining only decreases).
+        newly = retire_job(*self->jobs, id, self->m, self->remaining,
+                           self->done, self->on_done);
+        std::lock_guard<std::mutex> lk(self->m);
+        left = self->remaining;
+      }
+      for (int d : newly) self->submit(d);
+      if (left == 0) self->cv.notify_all();
+    });
+  }
+};
+
+void run_dag_on(std::vector<Job>& jobs, api::JobExecutor& exec,
+                const DoneCallback& on_done) {
+  if (jobs.empty()) return;
+  auto dag = std::make_shared<ExternalDag>();
+  dag->jobs = &jobs;
+  dag->exec = &exec;
+  dag->on_done = on_done;
+  dag->remaining = jobs.size();
+  // Snapshot the ready set BEFORE the first submit: once a task is in
+  // flight it may retire and drive a dependent's pending count to zero
+  // (submitting it via `newly`), and this loop reading that same count
+  // would submit the job a second time.
+  std::vector<int> initial;
+  for (int i = 0; i < static_cast<int>(jobs.size()); ++i)
+    if (jobs[i].pending == 0) initial.push_back(i);
+  for (int i : initial) dag->submit(i);
+  std::unique_lock<std::mutex> lk(dag->m);
+  dag->cv.wait(lk, [&] { return dag->remaining == 0; });
 }
 
 std::string error_message(const std::exception_ptr& e) {
@@ -326,6 +399,24 @@ void Study::expand() {
 // ------------------------------------------------------------ job bodies --
 
 void Study::run_topology_job(TopologyArtifact& t) {
+  // The analytic toggle changes what the job computes but is not part of
+  // the canonical topology key (reports embed the key), so it rides on the
+  // cache key instead.
+  const std::string cache_key =
+      t.key + (spec_.analytic ? ";analytic=1" : ";analytic=0");
+  if (opts_.cache) {
+    std::string payload;
+    if (opts_.cache->load(kTopologyArtifactKind, cache_key, payload) &&
+        restore_topology_artifact(payload, spec_.analytic, t)) {
+      // Report determinism: syntheses_run counts synthesize jobs resolved,
+      // however the artifact was produced, so cached and recomputed studies
+      // stamp identical provenance.
+      if (t.source == TopologySource::kSynthesize) synth_count_.fetch_add(1);
+      topo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    topo_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (t.source == TopologySource::kSynthesize) {
     core::AnnealOptions ao;
     // One annealer thread per job: the Study pool is the parallelism layer,
@@ -354,9 +445,23 @@ void Study::run_topology_job(TopologyArtifact& t) {
           static_cast<double>(extra) / g.num_directed_edges();
     }
   }
+  if (opts_.cache) {
+    opts_.cache->store(kTopologyArtifactKind, cache_key,
+                       topology_artifact_payload(t, spec_.analytic));
+    cache_stores_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Study::run_plan_job(PlanArtifact& p) {
+  if (opts_.cache) {
+    std::string payload;
+    if (opts_.cache->load(kPlanArtifactKind, p.key, payload) &&
+        restore_plan_artifact(payload, p)) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
   const auto policy = policy_for(t);
   if (spec_.chiplet_system) {
@@ -369,6 +474,10 @@ void Study::run_plan_job(PlanArtifact& p) {
     p.plan = core::plan_network(t.topo.graph, t.topo.layout, policy,
                                 spec_.num_vcs, p.seed,
                                 spec_.max_paths_per_flow);
+  }
+  if (opts_.cache) {
+    opts_.cache->store(kPlanArtifactKind, p.key, plan_artifact_payload(p));
+    cache_stores_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -405,7 +514,48 @@ sim::TrafficConfig Study::traffic_for(const PlanArtifact& p,
   return traffic;
 }
 
+std::string Study::sweep_cache_key(const USweep& s) const {
+  const auto& p = uplans_[static_cast<std::size_t>(s.plan)];
+  const auto& ts = spec_.traffic[static_cast<std::size_t>(s.traffic)];
+  const auto& sw = spec_.sweep;
+#if defined(_OPENMP)
+  const int omp_width = omp_get_max_threads();
+#else
+  const int omp_width = 1;
+#endif
+  // ts.name is presentation-only (report row labels) and deliberately not
+  // part of the key; omp width is, because adaptive truncation and the
+  // omp_threads provenance field both depend on it.
+  return p.key + "|traffic=" + ts.kind +
+         ";ctrl=" + std::to_string(ts.ctrl_flits) +
+         ";data=" + std::to_string(ts.data_flits) +
+         ";frac=" + fmt_double(ts.data_fraction) +
+         "|sweep=points=" + std::to_string(sw.points) +
+         ";max=" + fmt_double(sw.max_rate) +
+         ";adaptive=" + (sw.adaptive ? "1" : "0") +
+         ";warmup=" + std::to_string(sw.warmup) +
+         ";measure=" + std::to_string(sw.measure) +
+         ";drain=" + std::to_string(sw.drain) +
+         ";buf=" + std::to_string(sw.buf_flits) +
+         ";io=" + std::to_string(sw.io_flits_per_cycle) +
+         ";rd=" + std::to_string(sw.router_delay) +
+         ";ld=" + std::to_string(sw.link_delay) +
+         ";simseed=" + std::to_string(sw.sim_seed) +
+         ";omp=" + std::to_string(omp_width);
+}
+
 void Study::run_sweep_job(USweep& s) {
+  std::string cache_key;
+  if (opts_.cache) {
+    cache_key = sweep_cache_key(s);
+    std::string payload;
+    if (opts_.cache->load(kSweepArtifactKind, cache_key, payload) &&
+        restore_sweep_artifact(payload, s.result)) {
+      sweep_hits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    sweep_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   const auto& p = uplans_[static_cast<std::size_t>(s.plan)];
   const auto& t = utopos_[static_cast<std::size_t>(p.topology)];
   const auto& ts = spec_.traffic[static_cast<std::size_t>(s.traffic)];
@@ -422,6 +572,11 @@ void Study::run_sweep_job(USweep& s) {
   opt.adaptive = spec_.sweep.adaptive;
   s.result = sim::sweep_to_saturation(p.plan, traffic, cfg, clock,
                                       spec_.sweep.points, max_override, opt);
+  if (opts_.cache) {
+    opts_.cache->store(kSweepArtifactKind, cache_key,
+                       sweep_artifact_payload(s.result));
+    cache_stores_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Study::run_resilience_job(UResilience& r) {
@@ -552,7 +707,10 @@ void Study::run_jobs() {
   width = std::min<int>(width, std::max(1, stats_.jobs_total));
 
   obs::WallTimer wall;
-  run_dag(jobs, width);
+  if (opts_.executor != nullptr)
+    run_dag_on(jobs, *opts_.executor, opts_.on_job_done);
+  else
+    run_dag(jobs, width, opts_.on_job_done);
   stats_.syntheses_run = synth_count_.load();
 
   // Failure provenance, in job-id order (deterministic across widths: which
@@ -757,6 +915,18 @@ Report Study::run() {
   span.arg("jobs", stats_.jobs_total);
   run_jobs();
   return assemble();
+}
+
+ArtifactCacheStats Study::artifact_cache_stats() const {
+  ArtifactCacheStats s;
+  s.topology_hits = topo_hits_.load(std::memory_order_relaxed);
+  s.topology_misses = topo_misses_.load(std::memory_order_relaxed);
+  s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  s.sweep_hits = sweep_hits_.load(std::memory_order_relaxed);
+  s.sweep_misses = sweep_misses_.load(std::memory_order_relaxed);
+  s.stores = cache_stores_.load(std::memory_order_relaxed);
+  return s;
 }
 
 const PlanArtifact& Study::plan_for(int topology_ref, int seed_index) const {

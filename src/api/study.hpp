@@ -27,9 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "api/artifact_cache.hpp"
+#include "api/executor.hpp"
 #include "api/report.hpp"
 #include "api/spec.hpp"
 #include "power/dsent_lite.hpp"
@@ -69,6 +72,21 @@ struct StudyOptions {
   // Thread-pool width; -1 = spec.threads, 0 = hardware concurrency. Does
   // not affect results, only wall clock.
   int threads = -1;
+  // Persistent artifact store consulted before running topology/plan/sweep
+  // jobs and fed after (api/artifact_cache.hpp). Null = recompute
+  // everything. Cached and recomputed studies assemble byte-identical
+  // reports, so plugging a cache never changes results, only wall clock.
+  ArtifactCache* cache = nullptr;
+  // External executor (a process-wide pool shared across concurrent
+  // studies, e.g. the serve daemon's). Null = the study spawns its own
+  // `threads`-wide pool. With an executor the pool's width governs
+  // parallelism and `threads` is ignored.
+  JobExecutor* executor = nullptr;
+  // Per-job completion callback (label, jobs completed, jobs total), called
+  // serially in completion order while the DAG's bookkeeping lock is held —
+  // keep it cheap; it is on the job handoff path, not the job bodies. The
+  // serve layer streams these as progress events.
+  std::function<void(const std::string&, int, int)> on_job_done;
 };
 
 class Study {
@@ -82,6 +100,10 @@ class Study {
 
   const ExperimentSpec& spec() const { return spec_; }
   const StudyStats& stats() const { return stats_; }
+  // Cache traffic against opts.cache (all-zero when no cache was plugged
+  // in). Valid after run(). A fully warm run — every topology, plan and
+  // sweep restored — has misses() == 0 and ran zero syntheses.
+  ArtifactCacheStats artifact_cache_stats() const;
 
   // Shared artifacts (valid after run()), for callers that post-process
   // beyond the report — e.g. the full-system workload example replays
@@ -124,6 +146,11 @@ class Study {
   void run_plan_job(PlanArtifact& p);
   void run_sweep_job(USweep& s);
   void run_resilience_job(UResilience& r);
+  // Cache key of a sweep job: the plan key extended with every input the
+  // sweep depends on (traffic shape, sweep/sim windows, and the OpenMP
+  // width, which adaptive truncation and the omp_threads provenance field
+  // both observe).
+  std::string sweep_cache_key(const USweep& s) const;
   // Traffic construction shared by sweep and resilience jobs; updates
   // max_override for patterns whose rate cap is not the uniform auto bound.
   sim::TrafficConfig traffic_for(const PlanArtifact& p,
@@ -137,6 +164,11 @@ class Study {
   StudyStats stats_;
   bool ran_ = false;
   std::atomic<int> synth_count_{0};
+  // Artifact-cache traffic (opts_.cache only; all stay zero without one).
+  std::atomic<long> topo_hits_{0}, topo_misses_{0};
+  std::atomic<long> plan_hits_{0}, plan_misses_{0};
+  std::atomic<long> sweep_hits_{0}, sweep_misses_{0};
+  std::atomic<long> cache_stores_{0};
 
   std::vector<TopologyArtifact> utopos_;
   std::vector<int> topo_refs_;  // grid ref -> unique topology index

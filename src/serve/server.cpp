@@ -1,0 +1,387 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "api/report.hpp"
+#include "api/spec.hpp"
+#include "api/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+
+namespace netsmith::serve {
+
+namespace fs = std::filesystem;
+using util::JsonValue;
+
+// ------------------------------------------------------------ SharedPool --
+
+SharedPool::SharedPool(int width) {
+  if (width <= 0) width = static_cast<int>(std::thread::hardware_concurrency());
+  if (width <= 0) width = 1;
+  workers_.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock<std::mutex> lk(mu_);
+          cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+          if (queue_.empty()) return;  // stop requested and fully drained
+          task = std::move(queue_.front());
+          queue_.pop_front();
+        }
+        task();
+      }
+    });
+  }
+}
+
+SharedPool::~SharedPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void SharedPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+// ---------------------------------------------------------------- Server --
+
+namespace {
+
+void set_recv_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << data;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      store_(StoreOptions{opts_.cache_dir, opts_.lru_bytes}),
+      pool_(opts_.threads) {}
+
+Server::~Server() {
+  if (started_) {
+    request_stop();
+    wait();
+  }
+}
+
+void Server::start() {
+  if (!opts_.socket_path.empty()) {
+    ::unlink(opts_.socket_path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      throw std::runtime_error("serve: socket(): " +
+                               std::string(std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("serve: socket path too long: " +
+                               opts_.socket_path);
+    std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("serve: cannot listen on " +
+                               opts_.socket_path + ": " + err);
+    }
+    // accept() honors SO_RCVTIMEO; the loop wakes periodically to observe a
+    // stop request instead of parking forever.
+    set_recv_timeout(listen_fd_, 200);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+  if (!opts_.spool_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(opts_.spool_dir, ec);
+    spool_thread_ = std::thread([this] { spool_loop(); });
+  }
+  started_ = true;
+}
+
+void Server::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lk(stop_mu_);
+    stop_cv_.wait(lk, [this] { return stop_requested(); });
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (auto& t : conn_threads_)
+      if (t.joinable()) t.join();
+    conn_threads_.clear();
+  }
+  if (spool_thread_.joinable()) spool_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+  }
+  started_ = false;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stop_requested()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED)
+        continue;
+      return;  // listener is gone; wait() reaps us
+    }
+    set_recv_timeout(fd, 500);
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_threads_.emplace_back([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+    });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  LineReader reader(fd, [this] { return stop_requested(); });
+  std::string line;
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    obs::Span span("serve/request");
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.requests").inc();
+    Request req;
+    try {
+      req = parse_request(line);
+    } catch (const std::exception& e) {
+      obs::counter("serve.requests_bad").inc();
+      // Protocol errors are answered, not fatal: the connection stays open
+      // so one bad line cannot wedge a client's session.
+      if (!write_line(fd, error_event(e.what()))) return;
+      continue;
+    }
+    span.arg("op", req.op);
+    if (req.op == "ping") {
+      if (!write_line(fd, pong_event())) return;
+    } else if (req.op == "stats") {
+      if (!write_line(fd, stats_event(store_.stats(),
+                                      requests_.load(std::memory_order_relaxed))))
+        return;
+    } else if (req.op == "shutdown") {
+      write_line(fd, accepted_event("shutdown", "", -1));
+      request_stop();
+      return;
+    } else {  // "run"
+      handle_run(fd, req.spec);
+    }
+  }
+}
+
+void Server::handle_run(int fd, const JsonValue& spec_json) {
+  // Progress events are produced under the study's DAG bookkeeping lock on
+  // pool workers; they must never block on the client socket. The callback
+  // only enqueues — this handler thread owns every socket write.
+  struct ProgressQueue {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::string> lines;
+    bool done = false;
+  } prog;
+
+  api::ExperimentSpec spec;
+  std::unique_ptr<api::Study> study;
+  try {
+    spec = api::spec_from_json(spec_json);
+    api::StudyOptions sopts;
+    sopts.cache = &store_;
+    sopts.executor = &pool_;
+    sopts.on_job_done = [&prog](const std::string& label, int done,
+                                int total) {
+      {
+        std::lock_guard<std::mutex> lk(prog.m);
+        prog.lines.push_back(progress_event(label, done, total));
+      }
+      prog.cv.notify_one();
+    };
+    study = std::make_unique<api::Study>(spec, sopts);
+  } catch (const std::exception& e) {
+    write_line(fd, error_event(e.what()));
+    return;
+  }
+  if (!write_line(fd, accepted_event("run", spec.name,
+                                     study->stats().jobs_total)))
+    return;
+
+  api::Report report;
+  std::string run_error;
+  std::thread runner([&] {
+    try {
+      report = study->run();
+    } catch (const std::exception& e) {
+      run_error = e.what();
+      if (run_error.empty()) run_error = "study failed";
+    }
+    {
+      std::lock_guard<std::mutex> lk(prog.m);
+      prog.done = true;
+    }
+    prog.cv.notify_one();
+  });
+
+  // Drain progress until the study retires. A dead client stops the writes
+  // but never the study: cache population must finish either way.
+  bool io_ok = true;
+  {
+    std::unique_lock<std::mutex> lk(prog.m);
+    for (;;) {
+      prog.cv.wait(lk, [&] { return prog.done || !prog.lines.empty(); });
+      while (!prog.lines.empty()) {
+        const std::string ev = std::move(prog.lines.front());
+        prog.lines.pop_front();
+        lk.unlock();
+        if (io_ok) io_ok = write_line(fd, ev);
+        lk.lock();
+      }
+      if (prog.done) break;
+    }
+  }
+  runner.join();
+
+  if (!run_error.empty()) {
+    write_line(fd, error_event(run_error));
+    return;
+  }
+  if (!io_ok) return;
+  write_line(fd, report_event(api::report_to_json(report),
+                              !report.failed_jobs.empty(),
+                              study->artifact_cache_stats(), store_.stats()));
+}
+
+bool Server::run_spec_json(
+    const JsonValue& spec_json,
+    const std::function<void(const std::string&, int, int)>& on_job_done,
+    std::string& report_json, bool& partial,
+    api::ArtifactCacheStats& cache_stats, std::string& error) {
+  try {
+    const api::ExperimentSpec spec = api::spec_from_json(spec_json);
+    api::StudyOptions sopts;
+    sopts.cache = &store_;
+    sopts.executor = &pool_;
+    sopts.on_job_done = on_job_done;
+    api::Study study(spec, sopts);
+    const api::Report report = study.run();
+    report_json = api::report_to_json(report);
+    partial = !report.failed_jobs.empty();
+    cache_stats = study.artifact_cache_stats();
+    return true;
+  } catch (const std::exception& e) {
+    error = e.what();
+    if (error.empty()) error = "study failed";
+    return false;
+  }
+}
+
+void Server::spool_loop() {
+  while (!stop_requested()) {
+    std::vector<std::string> inputs;
+    {
+      std::error_code ec;
+      for (fs::directory_iterator it(opts_.spool_dir, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        const std::string name = it->path().filename().string();
+        if (name.size() < 6 || name.substr(name.size() - 5) != ".json")
+          continue;
+        if (name.size() >= 12 &&
+            name.substr(name.size() - 12) == ".report.json")
+          continue;
+        inputs.push_back(it->path().string());
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+    for (const std::string& path : inputs) {
+      if (stop_requested()) break;
+      obs::Span span("serve/request");
+      span.arg("op", "spool");
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("serve.requests").inc();
+      const std::string stem = path.substr(0, path.size() - 5);
+      std::string report_json, error;
+      bool partial = false;
+      api::ArtifactCacheStats cache_stats;
+      bool ok;
+      try {
+        ok = run_spec_json(JsonValue::parse(read_file(path)),
+                           std::function<void(const std::string&, int, int)>(),
+                           report_json, partial, cache_stats, error);
+      } catch (const std::exception& e) {
+        ok = false;
+        error = e.what();
+      }
+      std::error_code ec;
+      if (ok && write_file(stem + ".report.json", report_json)) {
+        fs::rename(path, path + ".done", ec);
+      } else {
+        if (error.empty()) error = "cannot write report";
+        write_file(stem + ".error.txt", error + "\n");
+        fs::rename(path, path + ".failed", ec);
+      }
+    }
+    std::unique_lock<std::mutex> lk(stop_mu_);
+    stop_cv_.wait_for(lk, std::chrono::milliseconds(opts_.spool_poll_ms),
+                      [this] { return stop_requested(); });
+  }
+}
+
+}  // namespace netsmith::serve

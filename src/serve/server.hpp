@@ -1,0 +1,123 @@
+#pragma once
+// netsmith serve daemon: a memory-resident study service. One process holds
+// a SharedPool (the job executor every request's Study runs on) and an
+// ArtifactStore (persistent, content-addressed), so concurrent requests
+// share compute fairly and repeated specs are answered from cache — a warm
+// identical spec performs zero synthesis/plan/sweep work.
+//
+// Front ends, both optional and composable:
+//  - Unix-domain socket (ServerOptions::socket_path): newline-delimited
+//    JSON protocol (serve/protocol.hpp), one connection-handler thread per
+//    client, progress events streamed as jobs retire.
+//  - Spool directory (ServerOptions::spool_dir): polled for "*.json" specs;
+//    each produces "<stem>.report.json" and the input is renamed to
+//    "<input>.done" (or ".failed" plus "<stem>.error.txt"). Lets scripts
+//    use the daemon without speaking the socket protocol.
+//
+// Deadlock rule: pool tasks never block on other tasks. The Study's
+// executor-backed DAG (run_dag_on) only ever submits ready jobs, and the
+// thread that waits for a study to finish is a connection handler, never a
+// pool worker — so N concurrent studies share one pool of any width.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "serve/store.hpp"
+#include "util/json.hpp"
+
+namespace netsmith::serve {
+
+// Fixed-width worker pool implementing api::JobExecutor. submit() enqueues
+// and never runs inline; the destructor drains every queued task, then
+// joins. Width governs study parallelism for every request sharing it.
+class SharedPool final : public api::JobExecutor {
+ public:
+  // width <= 0 picks hardware concurrency (min 1).
+  explicit SharedPool(int width = 0);
+  ~SharedPool() override;
+  SharedPool(const SharedPool&) = delete;
+  SharedPool& operator=(const SharedPool&) = delete;
+
+  void submit(std::function<void()> task) override;
+  int width() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+struct ServerOptions {
+  std::string socket_path;  // empty = no socket listener
+  std::string spool_dir;    // empty = no spool watcher
+  std::string cache_dir;    // empty = memory-only store
+  std::size_t lru_bytes = 64ull << 20;
+  int threads = 0;  // SharedPool width; 0 = hardware concurrency
+  int spool_poll_ms = 200;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket and launches the listener/spool threads. Throws
+  // std::runtime_error when the socket cannot be bound.
+  void start();
+  // Blocks until request_stop() (e.g. from a signal handler or a client
+  // "shutdown" op), then joins every thread. The socket file is unlinked.
+  void wait();
+  // Async-signal-unfriendly parts (joins) happen in wait(); this only flags
+  // and wakes, so it is safe to call from anywhere including handlers.
+  void request_stop();
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  ArtifactStore& store() { return store_; }
+  long requests_handled() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void handle_run(int fd, const util::JsonValue& spec_json);
+  void spool_loop();
+  // Shared by socket and spool paths: run one spec on the shared pool with
+  // the shared store. Returns false + message on any failure.
+  bool run_spec_json(const util::JsonValue& spec_json,
+                     const std::function<void(const std::string&, int, int)>&
+                         on_job_done,
+                     std::string& report_json, bool& partial,
+                     api::ArtifactCacheStats& cache_stats,
+                     std::string& error);
+
+  ServerOptions opts_;
+  ArtifactStore store_;
+  SharedPool pool_;
+  std::atomic<bool> stop_{false};
+  std::atomic<long> requests_{0};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread spool_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool started_ = false;
+};
+
+}  // namespace netsmith::serve

@@ -1,0 +1,218 @@
+#include "serve/store.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace netsmith::serve {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr const char* kMagic = "netsmith-artifact v1";
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string map_key_of(const std::string& kind, const std::string& key) {
+  std::string mk = kind;
+  mk.push_back('\0');
+  mk += key;
+  return mk;
+}
+
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(StoreOptions opts) : opts_(std::move(opts)) {}
+
+std::string ArtifactStore::path_for(const std::string& kind,
+                                    const std::string& key) const {
+  if (opts_.dir.empty()) return {};
+  return opts_.dir + "/" + kind + "/" + hex64(fnv1a64(key)) + ".art";
+}
+
+void ArtifactStore::put_mem_locked(const std::string& map_key,
+                                   const std::string& payload) {
+  if (payload.size() > opts_.lru_bytes) return;
+  auto it = index_.find(map_key);
+  if (it != index_.end()) {
+    mem_bytes_ -= it->second->payload.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{map_key, payload});
+  index_[map_key] = lru_.begin();
+  mem_bytes_ += payload.size();
+  while (mem_bytes_ > opts_.lru_bytes && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    mem_bytes_ -= victim.payload.size();
+    index_.erase(victim.map_key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::counter("serve.cache.evictions").inc();
+  }
+  stats_.mem_bytes = static_cast<long long>(mem_bytes_);
+  stats_.mem_entries = static_cast<long>(lru_.size());
+  obs::gauge("serve.store.mem_bytes").set(static_cast<double>(mem_bytes_));
+  obs::gauge("serve.store.mem_entries").set(static_cast<double>(lru_.size()));
+}
+
+bool ArtifactStore::read_disk(const std::string& kind, const std::string& key,
+                              std::string& payload) {
+  const std::string path = path_for(kind, key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    obs::counter("serve.cache.misses").inc();
+    return false;
+  }
+  FileCloser closer{f};
+  const auto corrupt = [&] {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.corrupt;
+    obs::counter("serve.cache.corrupt").inc();
+    return false;
+  };
+  char line[4096];
+  if (!std::fgets(line, sizeof(line), f) ||
+      std::string(line) != std::string(kMagic) + "\n")
+    return corrupt();
+  // Key line: "key <key>\n". Keys are canonical single-line strings; a
+  // different key under the same hash is a collision and reads as a miss.
+  std::string key_line;
+  {
+    if (!std::fgets(line, sizeof(line), f)) return corrupt();
+    key_line = line;
+    while (!key_line.empty() && key_line.back() != '\n') {
+      if (!std::fgets(line, sizeof(line), f)) return corrupt();
+      key_line += line;
+    }
+  }
+  if (key_line != "key " + key + "\n") return corrupt();
+  if (!std::fgets(line, sizeof(line), f)) return corrupt();
+  unsigned long long size = 0;
+  char hash_hex[32] = {0};
+  if (std::sscanf(line, "size %llu hash %16s", &size, hash_hex) != 2)
+    return corrupt();
+  if (size > (1ull << 32)) return corrupt();
+  std::string data(static_cast<std::size_t>(size), '\0');
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size())
+    return corrupt();
+  // Anything after the payload means the file is not what we wrote.
+  if (std::fgetc(f) != EOF) return corrupt();
+  if (hex64(fnv1a64(data)) != hash_hex) return corrupt();
+  payload = std::move(data);
+  return true;
+}
+
+bool ArtifactStore::write_disk(const std::string& kind, const std::string& key,
+                               const std::string& payload) {
+  static std::atomic<unsigned long long> seq{0};
+  const std::string path = path_for(kind, key);
+  std::error_code ec;
+  fs::create_directories(opts_.dir + "/" + kind, ec);
+  if (ec) return false;
+  const std::string tmp =
+      path + ".tmp." + std::to_string(seq.fetch_add(1)) + "." +
+      hex64(fnv1a64(key + std::to_string(
+                              reinterpret_cast<std::uintptr_t>(&seq))));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok;
+  {
+    FileCloser closer{f};
+    const std::string header = std::string(kMagic) + "\nkey " + key +
+                               "\nsize " + std::to_string(payload.size()) +
+                               " hash " + hex64(fnv1a64(payload)) + "\n";
+    ok = std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+         (payload.empty() ||
+          std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
+    ok = (std::fflush(f) == 0) && ok;
+  }
+  if (ok) {
+    fs::rename(tmp, path, ec);
+    ok = !ec;
+  }
+  if (!ok) fs::remove(tmp, ec);
+  return ok;
+}
+
+bool ArtifactStore::load(const std::string& kind, const std::string& key,
+                         std::string& payload) {
+  const std::string mk = map_key_of(kind, key);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = index_.find(mk);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      payload = it->second->payload;
+      ++stats_.mem_hits;
+      obs::counter("serve.cache.mem_hits").inc();
+      return true;
+    }
+  }
+  if (opts_.dir.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    obs::counter("serve.cache.misses").inc();
+    return false;
+  }
+  if (!read_disk(kind, key, payload)) return false;  // miss/corrupt counted
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.disk_hits;
+  obs::counter("serve.cache.disk_hits").inc();
+  put_mem_locked(mk, payload);
+  return true;
+}
+
+void ArtifactStore::store(const std::string& kind, const std::string& key,
+                          const std::string& payload) {
+  try {
+    bool wrote_ok = true;
+    if (!opts_.dir.empty()) wrote_ok = write_disk(kind, key, payload);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.stores;
+    obs::counter("serve.store.writes").inc();
+    if (!wrote_ok) {
+      ++stats_.write_errors;
+      obs::counter("serve.store.write_errors").inc();
+    }
+    put_mem_locked(map_key_of(kind, key), payload);
+  } catch (...) {
+    // Best-effort by contract: a full disk or permission error must never
+    // take down the study that tried to populate the cache.
+  }
+}
+
+StoreStats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace netsmith::serve

@@ -1,0 +1,92 @@
+#pragma once
+// Persistent content-addressed artifact store behind the api::ArtifactCache
+// interface: a byte-budgeted in-memory LRU fronting an on-disk layout of
+// <dir>/<kind>/<fnv1a64(key)>.art files. Designed for the serve daemon
+// (shared across concurrent studies) and `netsmith_run --cache DIR`.
+//
+// Disk format (see DESIGN.md "Serving layer"): a text header carrying the
+// full key, payload size and payload hash, then the payload bytes. Loads
+// verify all three; ANY anomaly — short file, header mismatch, key
+// collision, payload hash mismatch — reads as a miss (counted in
+// stats().corrupt) and the entry is rewritten on the next store. Writes go
+// to a unique temp file in the same directory and are renamed into place,
+// so concurrent writers and crashed processes never leave a torn entry
+// under the final name.
+//
+// Thread safety: all members are safe to call concurrently. The LRU mutex
+// is never held across file I/O.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/artifact_cache.hpp"
+
+namespace netsmith::serve {
+
+std::uint64_t fnv1a64(const std::string& s);
+
+struct StoreOptions {
+  // Root directory for persisted artifacts; empty = memory-only (the LRU
+  // still works, nothing survives the process).
+  std::string dir;
+  // In-memory LRU budget over payload bytes. Payloads larger than the
+  // budget are served straight from disk and never pinned in memory.
+  std::size_t lru_bytes = 64ull << 20;
+};
+
+struct StoreStats {
+  long mem_hits = 0;    // served from the LRU
+  long disk_hits = 0;   // read + verified from disk (then promoted to LRU)
+  long misses = 0;      // not present anywhere
+  long corrupt = 0;     // present on disk but failed verification (= miss)
+  long stores = 0;      // store() calls accepted
+  long evictions = 0;   // LRU entries dropped to respect the byte budget
+  long write_errors = 0;  // best-effort disk writes that failed
+  long long mem_bytes = 0;
+  long mem_entries = 0;
+  long hits() const { return mem_hits + disk_hits; }
+};
+
+class ArtifactStore final : public api::ArtifactCache {
+ public:
+  explicit ArtifactStore(StoreOptions opts = {});
+
+  // api::ArtifactCache: corrupt or absent = false; store never throws.
+  bool load(const std::string& kind, const std::string& key,
+            std::string& payload) override;
+  void store(const std::string& kind, const std::string& key,
+             const std::string& payload) override;
+
+  StoreStats stats() const;
+  const std::string& dir() const { return opts_.dir; }
+  // On-disk location an artifact maps to (exists or not). Empty when the
+  // store is memory-only. Tests use this to corrupt entries in place.
+  std::string path_for(const std::string& kind, const std::string& key) const;
+
+ private:
+  struct Entry {
+    std::string map_key;  // kind + '\0' + key
+    std::string payload;
+  };
+
+  // Callers hold mu_. Inserts/refreshes `map_key` at the MRU end and
+  // evicts from the LRU end until the budget holds.
+  void put_mem_locked(const std::string& map_key, const std::string& payload);
+  bool read_disk(const std::string& kind, const std::string& key,
+                 std::string& payload);
+  bool write_disk(const std::string& kind, const std::string& key,
+                  const std::string& payload);
+
+  StoreOptions opts_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t mem_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace netsmith::serve

@@ -246,6 +246,42 @@ std::string JsonValue::dump() const {
   return out;
 }
 
+void JsonValue::dump_compact_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kInt: out += std::to_string(int_); return;
+    case Type::kDouble: append_double(out, dbl_); return;
+    case Type::kString: out += json_quote(str_); return;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        items_[i].dump_compact_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        out += json_quote(members_[i].first);
+        out += ':';
+        members_[i].second.dump_compact_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
 // -------------------------------------------------------------- parsing ---
 
 namespace {

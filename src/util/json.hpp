@@ -68,11 +68,18 @@ class JsonValue {
   // Pretty-printed (2-space indent) serialization with trailing newline.
   std::string dump() const;
 
+  // Single-line serialization (no whitespace, no trailing newline). Number
+  // formatting matches dump(), so parse(dump_compact(v)) == v with the same
+  // exactness guarantees. This backs the serve layer's newline-delimited
+  // protocol, where every message must be one complete line.
+  std::string dump_compact() const;
+
   // Strict parse of a complete document (throws std::runtime_error).
   static JsonValue parse(const std::string& text);
 
  private:
   void dump_to(std::string& out, int depth) const;
+  void dump_compact_to(std::string& out) const;
 
   Type type_ = Type::kNull;
   bool bool_ = false;

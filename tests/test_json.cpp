@@ -85,6 +85,23 @@ TEST(JsonDump, DoubleExactness) {
   }
 }
 
+TEST(JsonDump, CompactIsSingleLineAndExact) {
+  const std::string text =
+      R"({"name": "x \"q\"", "n": -3, "d": 0.1, "flag": true, "nil": null,)"
+      R"( "arr": [1, 2.5, "s"], "obj": {"k": [{}]}, "empty": []})";
+  const JsonValue v = JsonValue::parse(text);
+  const std::string compact = v.dump_compact();
+  // One line, no pretty-printing whitespace, no trailing newline.
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  EXPECT_EQ(compact,
+            "{\"name\":\"x \\\"q\\\"\",\"n\":-3,\"d\":0.1,\"flag\":true,"
+            "\"nil\":null,\"arr\":[1,2.5,\"s\"],\"obj\":{\"k\":[{}]},"
+            "\"empty\":[]}");
+  // Numbers keep dump()'s shortest-round-trip formatting: re-parsing and
+  // pretty-printing matches the original's dump exactly.
+  EXPECT_EQ(JsonValue::parse(compact).dump(), v.dump());
+}
+
 TEST(JsonValue, TypeErrors) {
   EXPECT_THROW(JsonValue::integer(1).as_string(), std::runtime_error);
   EXPECT_THROW(JsonValue::string("x").as_int(), std::runtime_error);

@@ -10,6 +10,11 @@
 //                 (load in chrome://tracing or https://ui.perfetto.dev)
 //   --metrics     collect the obs counter/gauge/histogram registry; the
 //                 snapshot lands in the report's "metrics" block
+//   --cache DIR   persistent artifact store (shared with netsmith_serve):
+//                 topology/plan/sweep artifacts are looked up before
+//                 computing and persisted after, so a repeated spec is
+//                 answered almost entirely from disk. Reports are
+//                 byte-identical with and without the cache.
 //
 // The report is schema-versioned and embeds the spec verbatim; after
 // writing, the tool re-parses its own output (spec_from_report) and checks
@@ -30,6 +35,7 @@
 #include "api/study.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/store.hpp"
 #include "util/timer.hpp"
 
 using namespace netsmith;
@@ -39,7 +45,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: netsmith_run <spec.json> [--out PATH] [--threads N] "
-               "[--validate] [--trace PATH] [--metrics]\n");
+               "[--validate] [--trace PATH] [--metrics] [--cache DIR]\n");
   return 2;
 }
 
@@ -54,7 +60,7 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string spec_path, out_path, trace_path;
+  std::string spec_path, out_path, trace_path, cache_dir;
   int threads = -1;
   bool validate_only = false;
   bool metrics = false;
@@ -63,6 +69,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--cache") && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else if (!std::strcmp(argv[i], "--validate")) {
       validate_only = true;
     } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
@@ -95,7 +103,12 @@ int main(int argc, char** argv) {
     util::WallTimer timer;
     if (metrics) obs::set_metrics_enabled(true);
     if (!trace_path.empty()) obs::set_trace_enabled(true);
-    api::Study study(spec, api::StudyOptions{threads});
+    serve::ArtifactStore cache(
+        serve::StoreOptions{cache_dir, serve::StoreOptions{}.lru_bytes});
+    api::StudyOptions sopts;
+    sopts.threads = threads;
+    if (!cache_dir.empty()) sopts.cache = &cache;
+    api::Study study(spec, sopts);
     const api::Report report = study.run();
     const std::string json = api::report_to_json(report);
 
@@ -128,6 +141,15 @@ int main(int argc, char** argv) {
                  timer.seconds(), api::report_schema_version(report),
                  out_path.empty() ? "" : " -> ",
                  out_path.c_str());
+
+    if (!cache_dir.empty()) {
+      const api::ArtifactCacheStats cs = study.artifact_cache_stats();
+      std::fprintf(stderr,
+                   "netsmith_run: cache %s: %ld hits (%ld topology, %ld plan,"
+                   " %ld sweep), %ld misses, %ld stored\n",
+                   cache_dir.c_str(), cs.hits(), cs.topology_hits,
+                   cs.plan_hits, cs.sweep_hits, cs.misses(), cs.stores);
+    }
 
     // Partial report: the study degraded instead of aborting. Surface every
     // failure and exit 3 so scripts can tell "complete" from "degraded".

@@ -1,0 +1,231 @@
+// netsmith_submit: thin client for the netsmith_serve daemon. Sends one
+// ExperimentSpec over the daemon's Unix socket, relays progress to stderr,
+// and writes the returned report — byte-identical to what netsmith_run
+// would emit for the same spec — to stdout or --out.
+//
+//   netsmith_submit <spec.json> --socket PATH [--out PATH] [--quiet]
+//                   [--expect-warm]
+//   netsmith_submit --ping --socket PATH
+//   netsmith_submit --stats --socket PATH
+//   netsmith_submit --shutdown --socket PATH
+//
+//   --out PATH      write the report to PATH (default: stdout)
+//   --quiet         suppress progress lines on stderr
+//   --expect-warm   fail (exit 4) unless the daemon answered entirely from
+//                   its artifact cache (cache.misses == 0) — CI uses this
+//                   to prove a repeated spec did zero recomputation
+//   --ping/--stats/--shutdown
+//                   control ops; the daemon's JSON reply goes to stdout
+//
+// Exit status: 0 = success, 1 = error (daemon unreachable, run failed),
+// 2 = usage, 3 = report received but partial (failed jobs inside),
+// 4 = --expect-warm violated (the daemon recomputed something).
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+using namespace netsmith;
+using util::JsonValue;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: netsmith_submit <spec.json> --socket PATH [--out PATH]"
+               " [--quiet] [--expect-warm]\n"
+               "       netsmith_submit --ping|--stats|--shutdown --socket "
+               "PATH\n");
+  return 2;
+}
+
+int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+long field_int(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  return v && v->is_number() ? static_cast<long>(v->as_int()) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, socket_path, out_path, control_op;
+  bool quiet = false, expect_warm = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(argv[i], "--expect-warm")) {
+      expect_warm = true;
+    } else if (!std::strcmp(argv[i], "--ping") ||
+               !std::strcmp(argv[i], "--stats") ||
+               !std::strcmp(argv[i], "--shutdown")) {
+      control_op = argv[i] + 2;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (spec_path.empty()) {
+      spec_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty()) return usage();
+  if (control_op.empty() == spec_path.empty()) return usage();
+
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "netsmith_submit: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    return 1;
+  }
+
+  std::string request;
+  if (!control_op.empty()) {
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string(control_op));
+    request = req.dump_compact();
+  } else {
+    std::ifstream in(spec_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "netsmith_submit: cannot open %s\n",
+                   spec_path.c_str());
+      ::close(fd);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    JsonValue spec;
+    try {
+      spec = JsonValue::parse(ss.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "netsmith_submit: %s: %s\n", spec_path.c_str(),
+                   e.what());
+      ::close(fd);
+      return 1;
+    }
+    JsonValue req = JsonValue::object();
+    req.set("op", JsonValue::string("run"));
+    req.set("spec", spec);
+    request = req.dump_compact();
+  }
+
+  if (!serve::write_line(fd, request)) {
+    std::fprintf(stderr, "netsmith_submit: cannot write request\n");
+    ::close(fd);
+    return 1;
+  }
+
+  serve::LineReader reader(fd);
+  std::string line;
+  int rc = 1;  // no report/reply = error
+  while (reader.next(line)) {
+    if (line.empty()) continue;
+    JsonValue ev;
+    try {
+      ev = JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "netsmith_submit: bad event from daemon: %s\n",
+                   e.what());
+      break;
+    }
+    const JsonValue* kind = ev.find("event");
+    const std::string event =
+        kind && kind->type() == JsonValue::Type::kString ? kind->as_string()
+                                                         : "";
+    if (event == "error") {
+      const JsonValue* msg = ev.find("message");
+      std::fprintf(stderr, "netsmith_submit: daemon error: %s\n",
+                   msg ? msg->as_string().c_str() : "(no message)");
+      rc = 1;
+      break;
+    }
+    if (!control_op.empty()) {
+      // Control replies are single events; print verbatim and stop.
+      std::printf("%s\n", line.c_str());
+      rc = 0;
+      break;
+    }
+    if (event == "accepted") {
+      if (!quiet)
+        std::fprintf(stderr, "netsmith_submit: accepted (%ld jobs)\n",
+                     field_int(ev, "jobs"));
+    } else if (event == "progress") {
+      if (!quiet) {
+        const JsonValue* label = ev.find("label");
+        std::fprintf(stderr, "netsmith_submit: [%ld/%ld] %s\n",
+                     field_int(ev, "done"), field_int(ev, "total"),
+                     label ? label->as_string().c_str() : "");
+      }
+    } else if (event == "report") {
+      const JsonValue* report = ev.find("report");
+      if (!report) {
+        std::fprintf(stderr, "netsmith_submit: report event without body\n");
+        break;
+      }
+      const std::string& body = report->as_string();
+      if (out_path.empty()) {
+        std::fwrite(body.data(), 1, body.size(), stdout);
+      } else {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "netsmith_submit: cannot write %s\n",
+                       out_path.c_str());
+          break;
+        }
+        out << body;
+      }
+      const JsonValue* partial = ev.find("partial");
+      rc = partial && partial->as_bool() ? 3 : 0;
+      const JsonValue* cache = ev.find("cache");
+      if (cache) {
+        const long hits = field_int(*cache, "hits");
+        const long misses = field_int(*cache, "misses");
+        if (!quiet)
+          std::fprintf(stderr,
+                       "netsmith_submit: done (cache: %ld hits, %ld misses)"
+                       "%s%s\n",
+                       hits, misses, out_path.empty() ? "" : " -> ",
+                       out_path.c_str());
+        if (expect_warm && misses > 0) {
+          std::fprintf(stderr,
+                       "netsmith_submit: expected a warm cache but the "
+                       "daemon recomputed %ld artifact(s)\n",
+                       misses);
+          rc = 4;
+        }
+      }
+      break;
+    }
+  }
+  ::close(fd);
+  return rc;
+}
